@@ -1,0 +1,26 @@
+"""Design-choice ablations: intra-layer pipeline on/off and systolic-array utilisation sweep."""
+
+from repro.experiments.hardware_exps import pipeline_ablation
+from repro.hardware import ViTALiTyAccelerator, ViTALiTyAcceleratorConfig
+from repro.workloads import DEIT_TINY
+
+
+def test_pipeline_ablation(benchmark, report):
+    result = benchmark(pipeline_ablation)
+    report("Ablation — intra-layer pipeline", result)
+    assert result["throughput_gain"] > 1.0
+
+
+def test_utilization_sweep(benchmark, report):
+    def sweep():
+        rows = {}
+        for utilization in (0.5, 0.7, 0.85, 1.0):
+            config = ViTALiTyAcceleratorConfig(systolic_utilization=utilization)
+            result = ViTALiTyAccelerator(config).run_model(DEIT_TINY, include_linear=False)
+            rows[utilization] = result.attention_latency * 1e3
+        return rows
+
+    rows = benchmark(sweep)
+    report("Ablation — systolic-array utilisation vs attention latency (ms)",
+           {str(k): v for k, v in rows.items()})
+    assert rows[1.0] <= rows[0.5]

@@ -1,0 +1,13 @@
+"""Fig. 1: runtime breakdown of DeiT-Tiny's MHA module on GPU / edge GPU / Pixel 3."""
+
+from repro.experiments.profiling_exps import PAPER_FIG1, fig1_runtime_breakdown
+
+
+def test_fig1_runtime_breakdown(benchmark, report):
+    table = benchmark(fig1_runtime_breakdown)
+    report("Fig. 1 — MHA runtime breakdown (fractions)", {
+        "measured": table,
+        "paper": PAPER_FIG1,
+    })
+    for platform, breakdown in table.items():
+        assert breakdown["step2_softmax_map"] == max(breakdown.values())

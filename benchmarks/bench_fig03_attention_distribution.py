@@ -1,0 +1,14 @@
+"""Fig. 3: distribution of attention similarities before and after mean-centering."""
+
+from repro.experiments.accuracy_exps import fig3_attention_distribution
+
+
+def test_fig3_attention_distribution(benchmark, report):
+    summary = benchmark.pedantic(fig3_attention_distribution,
+                                 kwargs={"quick": False, "source": "calibrated"},
+                                 rounds=1, iterations=1)
+    report("Fig. 3 — fraction of similarities in [-1, 1)", {
+        "measured": summary,
+        "paper": {"vanilla": 0.46, "mean_centred": 0.67, "gain": 0.21},
+    })
+    assert summary["mean_gain"] > 0.1

@@ -1,0 +1,24 @@
+"""Fig. 11: end-to-end latency speedup of the ViTALiTy accelerator over all baselines."""
+
+from repro.experiments.hardware_exps import (
+    PAPER_ATTENTION_SPEEDUP,
+    PAPER_FIG11_AVERAGE,
+    fig11_latency_speedup,
+)
+
+
+def test_fig11_latency_speedup(benchmark, report):
+    rows = benchmark(fig11_latency_speedup)
+    averages = {key: sum(row[key] for row in rows.values()) / len(rows)
+                for key in ("cpu", "edge_gpu", "gpu", "sanger")}
+    attention_averages = {key: sum(row[f"attention_{key}"] for row in rows.values()) / len(rows)
+                          for key in ("cpu", "edge_gpu", "gpu", "sanger")}
+    report("Fig. 11 — latency speedup of ViTALiTy", {
+        "per_model_end_to_end": rows,
+        "average_end_to_end": averages,
+        "average_attention_only": attention_averages,
+        "paper_average_end_to_end": PAPER_FIG11_AVERAGE,
+        "paper_average_attention": PAPER_ATTENTION_SPEEDUP,
+    })
+    for baseline, speedup in averages.items():
+        assert speedup > 1.0, baseline

@@ -1,0 +1,24 @@
+"""Fig. 12: energy-efficiency improvement of the ViTALiTy accelerator over all baselines."""
+
+from repro.experiments.hardware_exps import (
+    PAPER_ATTENTION_ENERGY,
+    PAPER_FIG12_AVERAGE,
+    fig12_energy_efficiency,
+)
+
+
+def test_fig12_energy_efficiency(benchmark, report):
+    rows = benchmark(fig12_energy_efficiency)
+    averages = {key: sum(row[key] for row in rows.values()) / len(rows)
+                for key in ("cpu", "edge_gpu", "gpu", "sanger")}
+    attention_averages = {key: sum(row[f"attention_{key}"] for row in rows.values()) / len(rows)
+                          for key in ("cpu", "edge_gpu", "gpu", "sanger")}
+    report("Fig. 12 — energy-efficiency improvement of ViTALiTy", {
+        "per_model_end_to_end": rows,
+        "average_end_to_end": averages,
+        "average_attention_only": attention_averages,
+        "paper_average_end_to_end": PAPER_FIG12_AVERAGE,
+        "paper_average_attention": PAPER_ATTENTION_ENERGY,
+    })
+    for baseline, gain in averages.items():
+        assert gain > 1.0, baseline

@@ -1,0 +1,22 @@
+"""Fig. 13: training-scheme ablation on DeiT-Tiny (LOWRANK, +SPARSE, +KD, ViTALiTy)."""
+
+import pytest
+
+from repro.experiments.accuracy_exps import fig13_training_ablation
+
+
+@pytest.mark.slow
+def test_fig13_training_ablation(benchmark, report):
+    accuracies = benchmark.pedantic(fig13_training_ablation, kwargs={"quick": True},
+                                    rounds=1, iterations=1)
+    report("Fig. 13 — training-scheme ablation (synthetic-dataset analogue, %)", {
+        "measured": accuracies,
+        "paper_imagenet": {"baseline": 72.2, "sparse": 71.2, "lowrank": 27.0,
+                           "lowrank+sparse": 70.7, "lowrank+sparse+kd": 71.9,
+                           "vitality": 70.6, "vitality+kd": 71.9},
+    })
+    # Structural checks; the LOWRANK-collapse gap requires the longer runs
+    # recorded in EXPERIMENTS.md (see bench_fig10_accuracy.py for why).
+    for scheme, accuracy in accuracies.items():
+        assert 0.0 <= accuracy <= 100.0, scheme
+    assert accuracies["lowrank+sparse"] >= accuracies["lowrank"] - 10.0

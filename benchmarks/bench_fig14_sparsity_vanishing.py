@@ -1,0 +1,20 @@
+"""Fig. 14: occupancy of the sparse component shrinking over ViTALiTy training epochs."""
+
+import pytest
+
+from repro.experiments.accuracy_exps import fig14_sparsity_vanishing
+
+
+@pytest.mark.slow
+def test_fig14_sparsity_vanishing(benchmark, report):
+    occupancy = benchmark.pedantic(fig14_sparsity_vanishing,
+                                   kwargs={"quick": True, "epochs": 5},
+                                   rounds=1, iterations=1)
+    report("Fig. 14 — sparse-component occupancy per epoch (fraction)", {
+        "measured_per_epoch": occupancy,
+        "paper": "non-zeros in the sparse part drop below ~1% within ~10 epochs",
+    })
+    assert len(occupancy) == 5
+    assert all(0.0 <= value <= 1.0 for value in occupancy)
+    # The occupancy must not grow over training (it vanishes in the paper).
+    assert occupancy[-1] <= occupancy[0] + 0.02

@@ -1,0 +1,20 @@
+"""Fig. 15: effect of the Sanger sparsity threshold on DeiT-Tiny accuracy."""
+
+import pytest
+
+from repro.experiments.accuracy_exps import fig15_threshold_sweep
+
+
+@pytest.mark.slow
+def test_fig15_threshold_sweep(benchmark, report):
+    results = benchmark.pedantic(
+        fig15_threshold_sweep,
+        kwargs={"thresholds": (0.02, 0.5, 0.9), "quick": True},
+        rounds=1, iterations=1)
+    report("Fig. 15 — accuracy vs sparsity threshold (synthetic-dataset analogue, %)", {
+        "measured": {str(k): v for k, v in results.items()},
+        "paper": {"0.02": 71.2, "0.5": 71.9, "0.9": "drops (sparse part vanishes)"},
+    })
+    assert set(results) == {0.02, 0.5, 0.9}
+    for per_scheme in results.values():
+        assert per_scheme["vitality"] > 0.0

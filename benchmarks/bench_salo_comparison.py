@@ -1,0 +1,13 @@
+"""Section V-C: attention speedup of ViTALiTy over the SALO accelerator."""
+
+from repro.experiments.hardware_exps import salo_comparison
+
+
+def test_salo_comparison(benchmark, report):
+    speedups = benchmark(salo_comparison)
+    report("SALO comparison — attention speedup", {
+        "measured": speedups,
+        "paper": {"deit-tiny": 4.7, "deit-small": 5.0},
+    })
+    assert speedups["deit-tiny"] > 2.0
+    assert speedups["deit-small"] > 2.0

@@ -1,0 +1,12 @@
+"""Table I: operation counts of ViTALiTy's Taylor attention vs vanilla softmax attention."""
+
+from repro.experiments.complexity import PAPER_TABLE1, table1_op_counts
+
+
+def test_table1_op_counts(benchmark, report):
+    rows = benchmark(table1_op_counts)
+    report("Table I — operation counts (millions)", {
+        "measured": rows,
+        "paper": PAPER_TABLE1,
+    })
+    assert rows["deit-tiny"]["ratio_mul"] > 2.5

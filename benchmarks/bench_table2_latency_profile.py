@@ -1,0 +1,13 @@
+"""Table II: per-step latency of Taylor vs vanilla attention on the edge-GPU model."""
+
+from repro.experiments.profiling_exps import PAPER_TABLE2_TOTALS, table2_latency_profile
+
+
+def test_table2_latency_profile(benchmark, report):
+    rows = benchmark(table2_latency_profile)
+    report("Table II — per-step latency on the edge GPU (ms)", {
+        "measured": rows,
+        "paper_totals_ms": PAPER_TABLE2_TOTALS,
+    })
+    deit = next(row for row in rows if row["model"] == "deit-tiny")
+    assert deit["taylor_total_ms"] > deit["vanilla_total_ms"] * 0.9

@@ -1,0 +1,13 @@
+"""Table III: accelerator configurations (area/power parity between ViTALiTy and Sanger)."""
+
+from repro.experiments.hardware_exps import table3_configurations
+
+
+def test_table3_configurations(benchmark, report):
+    table = benchmark(table3_configurations)
+    report("Table III — accelerator configurations", {
+        "measured": table,
+        "paper": {"vitality": {"area_mm2": 5.223, "power_mw": 1460},
+                  "sanger": {"area_mm2": 5.194, "power_mw": 1450}},
+    })
+    assert abs(table["vitality"]["total_area_mm2"] - table["sanger"]["total_area_mm2"]) < 0.3

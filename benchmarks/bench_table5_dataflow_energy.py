@@ -1,0 +1,14 @@
+"""Table V: Taylor-attention energy under G-stationary vs down-forward accumulation."""
+
+from repro.experiments.hardware_exps import table5_dataflow_energy
+
+
+def test_table5_dataflow_energy(benchmark, report):
+    table = benchmark(table5_dataflow_energy)
+    report("Table V — dataflow energy comparison (uJ)", {
+        "measured": table,
+        "paper_deit_base": {"g_stationary_overall": 222, "down_forward_overall": 198,
+                            "g_stationary_data": 2.92, "down_forward_data": 3.76},
+    })
+    for model, per_dataflow in table.items():
+        assert per_dataflow["down_forward"]["overall_uj"] < per_dataflow["g_stationary"]["overall_uj"]

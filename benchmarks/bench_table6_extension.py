@@ -1,0 +1,10 @@
+"""Table VI: pre/post-processor requirements of linear-attention Transformer families."""
+
+from repro.experiments.hardware_exps import table6_extension
+
+
+def test_table6_extension(benchmark, report):
+    table = benchmark(table6_extension)
+    report("Table VI — accelerator extension to other linear attentions", table)
+    assert table["vitality"]["processors"] == ["Acc.", "Div.", "Add."]
+    assert "Exp." in table["performer"]["processors"]

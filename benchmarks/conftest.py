@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper.  The
+benchmark fixture measures the driver's runtime; the printed report (enable
+with ``-s``) shows the reproduced rows/series next to the values the paper
+reports, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+def print_report(title: str, payload) -> None:
+    """Pretty-print an experiment result below the benchmark output."""
+
+    print(f"\n=== {title} ===")
+    print(json.dumps(payload, indent=2, default=_to_serialisable))
+
+
+def _to_serialisable(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+@pytest.fixture
+def report():
+    return print_report

@@ -1,0 +1,56 @@
+"""Simulate the ViTALiTy accelerator and compare it against its hardware baselines.
+
+Runs the cycle-level ViTALiTy accelerator on every ViT workload of the paper,
+compares latency and energy against the Sanger accelerator and the analytic
+CPU / edge-GPU / GPU platform models (Figs. 11-12), and prints the dataflow
+ablation of Table V.
+
+Run with:  python examples/accelerator_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.hardware import (
+    Dataflow,
+    SangerAccelerator,
+    ViTALiTyAccelerator,
+    get_platform,
+)
+from repro.workloads import get_workload, list_workloads
+
+
+def main() -> None:
+    accelerator = ViTALiTyAccelerator()
+    sanger = SangerAccelerator()
+
+    print(f"{'model':15s} {'attn (ms)':>10s} {'e2e (ms)':>10s} {'vs Sanger':>10s} "
+          f"{'vs GPU':>8s} {'vs EdgeGPU':>11s} {'vs CPU':>8s}")
+    for name in list_workloads():
+        workload = get_workload(name)
+        own = accelerator.run_model(workload)
+        other = sanger.run_model(workload)
+        row = [f"{name:15s}", f"{own.attention_latency * 1e3:10.3f}",
+               f"{own.end_to_end_latency * 1e3:10.3f}",
+               f"{other.end_to_end_latency / own.end_to_end_latency:9.1f}x"]
+        for platform_name in ("gpu", "edge_gpu", "cpu"):
+            platform = get_platform(platform_name)
+            scaled = accelerator
+            if platform.peak_macs_per_second > accelerator.peak_macs_per_second:
+                scaled = accelerator.scaled_to_peak(platform.peak_macs_per_second)
+            result = scaled.run_model(workload)
+            speedup = platform.end_to_end_latency(workload) / result.end_to_end_latency
+            width = 7 if platform_name != "edge_gpu" else 10
+            row.append(f"{speedup:{width}.1f}x")
+        print(" ".join(row))
+
+    print("\nTable V — Taylor-attention energy (uJ), G-stationary vs down-forward accumulation:")
+    for name in ("deit-base", "mobilevit-xxs", "mobilevit-xs", "levit-128s", "levit-128"):
+        workload = get_workload(name)
+        gs = ViTALiTyAccelerator(dataflow=Dataflow.G_STATIONARY).attention_energy_breakdown(workload)
+        df = ViTALiTyAccelerator(dataflow=Dataflow.DOWN_FORWARD).attention_energy_breakdown(workload)
+        print(f"  {name:15s} GS overall {gs.overall * 1e6:8.1f}   ours overall {df.overall * 1e6:8.1f}"
+              f"   (GS data {gs.data_access * 1e6:5.2f} < ours {df.data_access * 1e6:5.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a from-scratch reproduction of ViTALiTy (HPCA 2023).
+
+ViTALiTy unifies a low-rank **linear Taylor attention** with a Sanger-style
+**sparse attention** during training, then drops the sparse component at
+inference so that only the linear (low-rank) path runs on a dedicated
+accelerator.  This package implements the full stack described in the paper:
+
+* ``repro.tensor`` / ``repro.nn`` / ``repro.optim`` — a numpy autograd and
+  neural-network substrate (stand-in for PyTorch).
+* ``repro.attention`` — softmax, Taylor, Sanger-sparse, unified ViTALiTy and
+  the linear-attention baselines, plus op-counting and distribution analysis.
+* ``repro.models`` — DeiT, MobileViT and LeViT model families.
+* ``repro.data`` / ``repro.training`` — synthetic dataset and the ViTALiTy
+  fine-tuning scheme (low-rank + sparse + knowledge distillation).
+* ``repro.hardware`` — cycle-level ViTALiTy accelerator, Sanger baseline,
+  CPU/GPU/EdgeGPU platform models, energy/area model.
+* ``repro.profiling`` / ``repro.experiments`` — runtime breakdowns, FLOPs,
+  and one driver per table/figure in the paper's evaluation.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,84 @@
+"""Attention algorithms evaluated in the ViTALiTy paper.
+
+The subpackage contains:
+
+* :class:`SoftmaxAttention` — the vanilla quadratic baseline (BASELINE).
+* :class:`TaylorAttention` — the paper's linear, low-rank first-order Taylor
+  attention with row-mean-centred keys (Algorithm 1, LOWRANK).
+* :class:`SangerSparseAttention` — the Sanger-style dynamic sparse attention
+  used both as the SPARSE baseline and as ViTALiTy's training-time sparse
+  component.
+* :class:`ViTALiTyAttention` — the unified low-rank + sparse attention used
+  while fine-tuning; at inference it degenerates to the pure Taylor path.
+* Linear-attention baselines (Performer, Linear Transformer, Efficient
+  Attention, Linformer) for the Table IV / Table VI comparisons.
+* Analysis utilities: operation counting (Table I, Eqs. 1–3), attention
+  value distributions under mean-centering (Fig. 3).
+"""
+
+from repro.attention.base import AttentionModule, attention_geometry
+from repro.attention.mean_centering import (
+    mean_center_keys,
+    mean_center_keys_array,
+    softmax_shift_invariance_gap,
+)
+from repro.attention.softmax_attention import SoftmaxAttention, softmax_attention
+from repro.attention.taylor_attention import (
+    TaylorAttention,
+    taylor_attention,
+    taylor_attention_map,
+    global_context_matrix,
+)
+from repro.attention.sparse_attention import (
+    SangerSparseAttention,
+    quantize_symmetric,
+    predict_sparsity_mask,
+    pack_and_split,
+)
+from repro.attention.unified_attention import ViTALiTyAttention
+from repro.attention.linear_baselines import (
+    LinearTransformerAttention,
+    PerformerAttention,
+    EfficientAttention,
+    LinformerAttention,
+)
+from repro.attention.op_counting import (
+    OperationCounts,
+    count_vanilla_attention_ops,
+    count_taylor_attention_ops,
+    operation_ratio_multiplications,
+    operation_ratio_additions,
+    operation_ratio_divisions,
+)
+from repro.attention.distribution import attention_distribution_stats, DistributionStats
+
+__all__ = [
+    "AttentionModule",
+    "attention_geometry",
+    "mean_center_keys",
+    "mean_center_keys_array",
+    "softmax_shift_invariance_gap",
+    "SoftmaxAttention",
+    "softmax_attention",
+    "TaylorAttention",
+    "taylor_attention",
+    "taylor_attention_map",
+    "global_context_matrix",
+    "SangerSparseAttention",
+    "quantize_symmetric",
+    "predict_sparsity_mask",
+    "pack_and_split",
+    "ViTALiTyAttention",
+    "LinearTransformerAttention",
+    "PerformerAttention",
+    "EfficientAttention",
+    "LinformerAttention",
+    "OperationCounts",
+    "count_vanilla_attention_ops",
+    "count_taylor_attention_ops",
+    "operation_ratio_multiplications",
+    "operation_ratio_additions",
+    "operation_ratio_divisions",
+    "attention_distribution_stats",
+    "DistributionStats",
+]

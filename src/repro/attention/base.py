@@ -1,0 +1,78 @@
+"""Common interface and geometry helpers for attention mechanisms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class AttentionGeometry:
+    """Shape of one attention call: batch, heads, tokens and head dimension."""
+
+    batch: int
+    heads: int
+    tokens: int
+    head_dim: int
+
+
+def attention_geometry(q: Tensor) -> AttentionGeometry:
+    """Extract the (batch, heads, tokens, head_dim) geometry from a query tensor."""
+
+    q = Tensor._ensure(q)
+    if q.ndim != 4:
+        raise ValueError(
+            f"attention inputs must have shape (batch, heads, tokens, head_dim), got {q.shape}"
+        )
+    batch, heads, tokens, head_dim = q.shape
+    return AttentionGeometry(batch=batch, heads=heads, tokens=tokens, head_dim=head_dim)
+
+
+class AttentionModule(Module):
+    """Base class for all attention mechanisms.
+
+    Every mechanism consumes query/key/value tensors of shape
+    ``(batch, heads, tokens, head_dim)`` and produces an attention score of
+    the same shape.  Mechanisms may populate :attr:`last_stats` with run-time
+    diagnostics (e.g. sparse-mask density), which the training loop and the
+    experiment drivers read out after each forward pass.
+    """
+
+    #: Human-readable identifier used by the model registry and experiments.
+    name: str = "attention"
+
+    def __init__(self):
+        super().__init__()
+        self.last_stats: dict[str, float] = {}
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _check_shapes(self, q: Tensor, k: Tensor, v: Tensor) -> AttentionGeometry:
+        """Validate shapes, allowing asymmetric geometries.
+
+        Queries may attend over a different number of key/value tokens (as in
+        LeViT's shrinking attention), and the value head dimension may differ
+        from the query/key dimension.  Required layout:
+
+        * ``q``: (batch, heads, q_tokens, qk_dim)
+        * ``k``: (batch, heads, kv_tokens, qk_dim)
+        * ``v``: (batch, heads, kv_tokens, v_dim)
+        """
+
+        geometry = attention_geometry(q)
+        k = Tensor._ensure(k)
+        v = Tensor._ensure(v)
+        if k.ndim != 4 or v.ndim != 4:
+            raise ValueError("k and v must have shape (batch, heads, tokens, dim)")
+        if k.shape[:2] != q.shape[:2] or v.shape[:2] != q.shape[:2]:
+            raise ValueError(
+                f"batch/head dims must match: q {q.shape}, k {k.shape}, v {v.shape}"
+            )
+        if k.shape[-1] != q.shape[-1]:
+            raise ValueError(f"q and k feature dims differ: {q.shape[-1]} vs {k.shape[-1]}")
+        if k.shape[2] != v.shape[2]:
+            raise ValueError(f"k and v token counts differ: {k.shape[2]} vs {v.shape[2]}")
+        return geometry

@@ -1,0 +1,123 @@
+"""Attention-value distribution analysis under mean-centering (Fig. 3).
+
+The paper motivates the first-order Taylor expansion by showing that, after
+row-wise mean-centering, the majority (up to ~67%) of the similarity values
+``q_i k_hat_j^T / sqrt(d)`` fall inside ``[-1, 1)`` — the region where
+``exp(x) ~= 1 + x`` is accurate — versus ~46% without centering.  This module
+computes those statistics per layer for any model that exposes per-layer
+query/key tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.mean_centering import similarity_matrix
+
+
+@dataclass(frozen=True)
+class DistributionStats:
+    """Share of similarity values inside [-1, 1) with and without centering."""
+
+    layer: int
+    fraction_weak_vanilla: float
+    fraction_weak_centred: float
+    histogram_vanilla: np.ndarray
+    histogram_centred: np.ndarray
+    bin_edges: np.ndarray
+
+    @property
+    def weak_fraction_gain(self) -> float:
+        """Increase in the weak-connection share due to mean-centering."""
+
+        return self.fraction_weak_centred - self.fraction_weak_vanilla
+
+
+def _fraction_in_unit_interval(values: np.ndarray) -> float:
+    return float(np.mean((values >= -1.0) & (values < 1.0)))
+
+
+def attention_distribution_stats(queries_per_layer: list[np.ndarray],
+                                 keys_per_layer: list[np.ndarray],
+                                 bins: int = 81,
+                                 value_range: tuple[float, float] = (-8.0, 8.0)
+                                 ) -> list[DistributionStats]:
+    """Per-layer similarity distributions before and after mean-centering.
+
+    Args:
+        queries_per_layer / keys_per_layer: per-layer arrays of shape
+            ``(batch, heads, tokens, head_dim)`` (or any leading dims).
+        bins / value_range: histogram resolution for the Fig. 3 plot data.
+    """
+
+    if len(queries_per_layer) != len(keys_per_layer):
+        raise ValueError("queries and keys must have the same number of layers")
+    edges = np.linspace(value_range[0], value_range[1], bins + 1)
+    stats: list[DistributionStats] = []
+    for layer, (q, k) in enumerate(zip(queries_per_layer, keys_per_layer)):
+        vanilla = similarity_matrix(q, k, centre=False)
+        centred = similarity_matrix(q, k, centre=True)
+        hist_vanilla, _ = np.histogram(vanilla, bins=edges)
+        hist_centred, _ = np.histogram(centred, bins=edges)
+        stats.append(DistributionStats(
+            layer=layer,
+            fraction_weak_vanilla=_fraction_in_unit_interval(vanilla),
+            fraction_weak_centred=_fraction_in_unit_interval(centred),
+            histogram_vanilla=hist_vanilla,
+            histogram_centred=hist_centred,
+            bin_edges=edges,
+        ))
+    return stats
+
+
+def generate_calibrated_qk(num_layers: int = 12, tokens: int = 197, head_dim: int = 64,
+                           heads: int = 3, seed: int = 0
+                           ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Generate per-layer Q/K whose similarity statistics mimic pre-trained DeiT-Tiny.
+
+    ImageNet-pre-trained ViTs produce attention logits with a substantial
+    per-row offset (keys share a strong common component), which drifts with
+    depth — the "distribution shifts left" behaviour in Fig. 3(a).  Row-wise
+    mean-centering removes exactly that offset.  This generator reproduces the
+    statistic without ImageNet weights: keys are a layer-dependent shared
+    direction plus noise, so that roughly half the raw similarities fall
+    outside [-1, 1) while about two-thirds fall inside after centering.
+
+    Returns per-layer arrays shaped ``(1, heads, tokens, head_dim)``.
+    """
+
+    rng = np.random.default_rng(seed)
+    queries: list[np.ndarray] = []
+    keys: list[np.ndarray] = []
+    sqrt_d = np.sqrt(head_dim)
+    # Per-component key noise of unit variance makes the *centred* similarity
+    # q k_hat^T / sqrt(d) roughly standard normal (≈68% of values in [-1, 1)).
+    noise_scale = 1.0
+    for layer in range(num_layers):
+        depth = layer / max(num_layers - 1, 1)
+        # Row-offset magnitude (in similarity units) grows with depth, which is
+        # what makes the raw distribution drift away from zero (Fig. 3a).
+        offset_sigma = 0.5 + 1.5 * depth
+        q = rng.normal(0.0, 1.0, size=(1, heads, tokens, head_dim))
+        shared = rng.normal(0.0, 1.0, size=(1, heads, 1, head_dim))
+        shared = shared / np.linalg.norm(shared, axis=-1, keepdims=True)
+        k = (-offset_sigma * sqrt_d * shared
+             + rng.normal(0.0, noise_scale, size=(1, heads, tokens, head_dim)))
+        queries.append(q)
+        keys.append(k)
+    return queries, keys
+
+
+def summarize_weak_fraction(stats: list[DistributionStats]) -> dict[str, float]:
+    """Aggregate the Fig. 3 headline numbers across layers."""
+
+    vanilla = float(np.mean([s.fraction_weak_vanilla for s in stats]))
+    centred = float(np.mean([s.fraction_weak_centred for s in stats]))
+    return {
+        "mean_fraction_weak_vanilla": vanilla,
+        "mean_fraction_weak_centred": centred,
+        "mean_gain": centred - vanilla,
+        "max_fraction_weak_centred": float(max(s.fraction_weak_centred for s in stats)),
+    }

@@ -1,0 +1,153 @@
+"""Linear-attention baselines used in the paper's comparisons.
+
+Table IV compares ViTALiTy against other linear attentions (Linformer,
+Performer) and Table VI categorises linear-attention families by the
+pre/post-processors their kernels require.  All four comparators are
+implemented here on the same ``(batch, heads, tokens, head_dim)`` interface
+as the rest of the attention library:
+
+* **Linear Transformer** (Katharopoulos et al.): kernel ``phi(x) = elu(x)+1``
+  applied to queries and keys, followed by the associative-order product.
+* **Performer** (Choromanski et al.): positive orthogonal random features
+  (PORF) approximating the softmax kernel.
+* **Efficient Attention** (Shen et al.): softmax applied separately to the
+  queries (over features) and keys (over tokens).
+* **Linformer** (Wang et al.): low-rank projection of keys and values along
+  the token dimension before an ordinary softmax attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.base import AttentionModule
+from repro.nn import init
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, softmax
+from repro.tensor.functional import elu
+
+
+class LinearTransformerAttention(AttentionModule):
+    """Linear attention with the ``elu(x) + 1`` feature map."""
+
+    name = "linear_transformer"
+
+    def __init__(self, eps: float = 1e-6):
+        super().__init__()
+        self.eps = eps
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        q_prime = elu(q) + 1.0
+        k_prime = elu(k) + 1.0
+        context = k_prime.transpose() @ v                    # (.., d, d)
+        k_sum = k_prime.sum(axis=-2, keepdims=True)           # (.., 1, d)
+        numerator = q_prime @ context
+        denominator = q_prime @ k_sum.transpose() + self.eps  # (.., n, 1)
+        self.last_stats = {"attention_entries": 0.0}
+        return numerator / denominator
+
+
+class PerformerAttention(AttentionModule):
+    """FAVOR+ softmax-kernel approximation via positive orthogonal random features."""
+
+    name = "performer"
+
+    def __init__(self, head_dim: int, num_features: int | None = None,
+                 seed: int = 0, eps: float = 1e-6):
+        super().__init__()
+        self.head_dim = head_dim
+        self.num_features = num_features or head_dim
+        self.eps = eps
+        projection = self._orthogonal_gaussian(self.num_features, head_dim, seed)
+        self.register_buffer("projection", projection)
+
+    @staticmethod
+    def _orthogonal_gaussian(rows: int, columns: int, seed: int) -> np.ndarray:
+        """Draw a block-orthogonal Gaussian random feature matrix."""
+
+        rng = np.random.default_rng(seed)
+        blocks = []
+        remaining = rows
+        while remaining > 0:
+            gaussian = rng.normal(size=(columns, columns))
+            q_factor, _ = np.linalg.qr(gaussian)
+            take = min(remaining, columns)
+            blocks.append(q_factor[:take])
+            remaining -= take
+        matrix = np.concatenate(blocks, axis=0)
+        # Re-scale rows to match the norm distribution of unstructured Gaussians.
+        norms = np.sqrt(rng.chisquare(columns, size=(rows, 1)))
+        return matrix * norms
+
+    def _feature_map(self, x: Tensor) -> Tensor:
+        """Positive random features: h(x) * exp(w^T x) with h(x) = exp(-|x|^2/2)."""
+
+        scale = self.head_dim ** -0.25
+        x = x * scale
+        projected = x @ Tensor(self.projection.T)             # (.., n, m)
+        squared_norm = (x * x).sum(axis=-1, keepdims=True) * 0.5
+        stabiliser = Tensor(projected.data.max(axis=-1, keepdims=True))
+        features = (projected - squared_norm - stabiliser).exp()
+        return features * (1.0 / np.sqrt(self.num_features))
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        q_prime = self._feature_map(q)
+        k_prime = self._feature_map(k)
+        context = k_prime.transpose() @ v
+        k_sum = k_prime.sum(axis=-2, keepdims=True)
+        numerator = q_prime @ context
+        denominator = q_prime @ k_sum.transpose() + self.eps
+        self.last_stats = {"attention_entries": 0.0}
+        return numerator / denominator
+
+
+class EfficientAttention(AttentionModule):
+    """Efficient Attention: softmax over query features and key tokens separately."""
+
+    name = "efficient"
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        q_prime = softmax(q, axis=-1)      # normalise each query over features
+        k_prime = softmax(k, axis=-2)      # normalise each key feature over tokens
+        context = k_prime.transpose() @ v
+        self.last_stats = {"attention_entries": 0.0}
+        return q_prime @ context
+
+
+class LinformerAttention(AttentionModule):
+    """Linformer: project keys/values from ``n`` tokens down to ``k`` before attention."""
+
+    name = "linformer"
+
+    def __init__(self, num_tokens: int, projection_dim: int):
+        super().__init__()
+        if projection_dim <= 0 or projection_dim > num_tokens:
+            raise ValueError(
+                f"projection_dim must be in (0, num_tokens], got {projection_dim} for "
+                f"{num_tokens} tokens"
+            )
+        self.num_tokens = num_tokens
+        self.projection_dim = projection_dim
+        self.key_projection = Parameter(init.truncated_normal((num_tokens, projection_dim)))
+        self.value_projection = Parameter(init.truncated_normal((num_tokens, projection_dim)))
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        geometry = self._check_shapes(q, k, v)
+        if geometry.tokens != self.num_tokens:
+            raise ValueError(
+                f"LinformerAttention was built for {self.num_tokens} tokens, got {geometry.tokens}"
+            )
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        scale = 1.0 / np.sqrt(geometry.head_dim)
+        k_low = self.key_projection.transpose() @ k       # (k_proj, n) @ (.., n, d)
+        v_low = self.value_projection.transpose() @ v
+        logits = (q @ k_low.transpose()) * scale           # (.., n, k_proj)
+        weights = softmax(logits, axis=-1)
+        self.last_stats = {"attention_entries": float(np.prod(weights.shape))}
+        return weights @ v_low

@@ -1,0 +1,74 @@
+"""Row-wise mean-centering of attention inputs (Section III-A of the paper).
+
+Property 1 (mean-centering): subtracting a per-row scalar from the softmax
+input does not change the softmax output.  ViTALiTy exploits this by
+mean-centering the *keys* instead of the attention matrix, which costs
+``O(nd)`` instead of the ``O(n^2 d)`` it would take to centre the attention
+matrix directly:
+
+    Q K^T / sqrt(d) - mean(Q K^T / sqrt(d)) = Q (K - 1_n K_bar)^T / sqrt(d)
+
+so the mean-centred key matrix ``K_hat = K - 1_n K_bar`` produces exactly the
+same softmax attention while concentrating the similarity values around zero
+(the motivating observation behind the first-order Taylor expansion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, softmax
+
+
+def mean_center_keys(k: Tensor) -> Tensor:
+    """Return the mean-centred key matrix ``K_hat`` (differentiable).
+
+    ``k`` may have any number of leading batch/head dimensions; the centering
+    is performed over the token dimension (second to last).
+    """
+
+    k = Tensor._ensure(k)
+    k_bar = k.mean(axis=-2, keepdims=True)
+    return k - k_bar
+
+
+def mean_center_keys_array(k: np.ndarray) -> np.ndarray:
+    """Numpy fast-path of :func:`mean_center_keys` for inference/profiling."""
+
+    k = np.asarray(k, dtype=np.float64)
+    return k - k.mean(axis=-2, keepdims=True)
+
+
+def softmax_shift_invariance_gap(q: np.ndarray, k: np.ndarray) -> float:
+    """Empirically verify Property 1.
+
+    Computes ``max |softmax(Q K^T / sqrt(d)) - softmax(Q K_hat^T / sqrt(d))|``
+    which should be zero up to floating-point error.  Used by the tests and by
+    the Fig. 3 analysis to validate that mean-centering keys does not change
+    the softmax attention.
+    """
+
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    head_dim = q.shape[-1]
+    scale = 1.0 / np.sqrt(head_dim)
+
+    k_hat = mean_center_keys_array(k)
+    original = softmax(Tensor(q @ np.swapaxes(k, -1, -2) * scale), axis=-1).data
+    centred = softmax(Tensor(q @ np.swapaxes(k_hat, -1, -2) * scale), axis=-1).data
+    return float(np.max(np.abs(original - centred)))
+
+
+def similarity_matrix(q: np.ndarray, k: np.ndarray, centre: bool = True) -> np.ndarray:
+    """Return the scaled dot-product similarity ``Q K^T / sqrt(d)``.
+
+    With ``centre=True`` the keys are mean-centred first, which is the input
+    whose distribution Fig. 3 of the paper visualises.
+    """
+
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    if centre:
+        k = mean_center_keys_array(k)
+    head_dim = q.shape[-1]
+    return q @ np.swapaxes(k, -1, -2) / np.sqrt(head_dim)

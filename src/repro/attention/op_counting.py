@@ -1,0 +1,155 @@
+"""Operation counting for vanilla vs Taylor attention (Table I, Eqs. 1–3).
+
+The counts are exact enumerations of the scalar multiplications, additions,
+divisions and exponentiations performed by the two attention formulations on
+a given layer geometry.  Aggregated over a model's attention layers they
+reproduce Table I of the paper; the closed-form ratios of Eqs. (1)–(3) are
+provided as separate helpers so the tests can check the approximation
+``R ~= n / d`` claimed in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import AttentionLayerSpec, ModelWorkload
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Scalar operation counts of an attention computation."""
+
+    multiplications: int = 0
+    additions: int = 0
+    divisions: int = 0
+    exponentiations: int = 0
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            multiplications=self.multiplications + other.multiplications,
+            additions=self.additions + other.additions,
+            divisions=self.divisions + other.divisions,
+            exponentiations=self.exponentiations + other.exponentiations,
+        )
+
+    def scaled(self, factor: int) -> "OperationCounts":
+        return OperationCounts(
+            multiplications=self.multiplications * factor,
+            additions=self.additions * factor,
+            divisions=self.divisions * factor,
+            exponentiations=self.exponentiations * factor,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.multiplications + self.additions + self.divisions + self.exponentiations
+
+    def in_millions(self) -> dict[str, float]:
+        """Counts expressed in millions, the unit Table I uses."""
+
+        return {
+            "Mul": self.multiplications / 1e6,
+            "Add": self.additions / 1e6,
+            "Div": self.divisions / 1e6,
+            "Exp": self.exponentiations / 1e6,
+        }
+
+
+def _vanilla_layer_counts(layer: AttentionLayerSpec) -> OperationCounts:
+    """Per-layer counts for softmax attention: QK^T, softmax, SV."""
+
+    n, m = layer.tokens, layer.kv_tokens
+    d, dv, h = layer.qk_dim, layer.v_dim, layer.heads
+    attention_entries = n * m
+    multiplications = h * (attention_entries * d + attention_entries * dv)
+    # Matmul accumulations plus the softmax denominator reduction (n*m adds),
+    # matching the (2 n^2 d + n^2) numerator of Eq. (2) for the square case.
+    additions = h * (attention_entries * d + attention_entries * dv + attention_entries)
+    divisions = h * attention_entries
+    exponentiations = h * attention_entries
+    return OperationCounts(multiplications, additions, divisions, exponentiations)
+
+
+def _taylor_layer_counts(layer: AttentionLayerSpec) -> OperationCounts:
+    """Per-layer counts for the linear Taylor attention (Algorithm 1)."""
+
+    n, m = layer.tokens, layer.kv_tokens
+    d, dv, h = layer.qk_dim, layer.v_dim, layer.heads
+
+    # Step 2 (G = K_hat^T V) and Step 5 (Q G) dominate; Step 4 adds Q k_hat_sum^T.
+    multiplications = h * (m * d * dv + n * d * dv + n * d)
+    # Matmul accumulations for the three products above, plus the pre/post
+    # processing element-wise work: column mean of K (m*d), mean-centering
+    # subtraction (m*d), column sums k_hat_sum / v_sum (m*d + m*dv), the
+    # denominator constant addition (n) and the numerator addition (n*dv).
+    additions = h * (
+        m * d * dv + n * d * dv + n * d
+        + 2 * m * d + m * d + m * dv + n + n * dv
+    )
+    # Step 1 divides the key column sum by n (d divisions) and Step 6 divides
+    # every numerator entry by its row denominator (n*dv divisions).
+    divisions = h * (d + n * dv)
+    return OperationCounts(multiplications, additions, divisions, exponentiations=0)
+
+
+def count_vanilla_attention_ops(workload: ModelWorkload | AttentionLayerSpec) -> OperationCounts:
+    """Total softmax-attention operation counts for a model (or a single layer)."""
+
+    if isinstance(workload, AttentionLayerSpec):
+        return _vanilla_layer_counts(workload).scaled(workload.repeats)
+    total = OperationCounts()
+    for layer in workload.attention_layers:
+        total = total + _vanilla_layer_counts(layer).scaled(layer.repeats)
+    return total
+
+
+def count_taylor_attention_ops(workload: ModelWorkload | AttentionLayerSpec) -> OperationCounts:
+    """Total Taylor-attention operation counts for a model (or a single layer)."""
+
+    if isinstance(workload, AttentionLayerSpec):
+        return _taylor_layer_counts(workload).scaled(workload.repeats)
+    total = OperationCounts()
+    for layer in workload.attention_layers:
+        total = total + _taylor_layer_counts(layer).scaled(layer.repeats)
+    return total
+
+
+# -- closed-form ratios of Eqs. (1)-(3) -----------------------------------------
+
+
+def operation_ratio_multiplications(tokens: int, head_dim: int) -> float:
+    """Eq. (1): ratio of multiplication counts, ``2n / (2d + 1) ~= n/d``."""
+
+    return 2.0 * tokens * tokens * head_dim / (2.0 * tokens * head_dim * head_dim + tokens * head_dim)
+
+
+def operation_ratio_additions(tokens: int, head_dim: int) -> float:
+    """Eq. (2): ratio of addition counts, ``(2d+1) n / ((2d+7) d) < n/d``."""
+
+    numerator = 2.0 * tokens * tokens * head_dim + tokens * tokens
+    denominator = 2.0 * tokens * head_dim * head_dim + 7.0 * tokens * head_dim
+    return numerator / denominator
+
+
+def operation_ratio_divisions(tokens: int, head_dim: int) -> float:
+    """Eq. (3): ratio of division counts, ``n^2 / ((n+1) d) ~= n/d``."""
+
+    return tokens * tokens / ((tokens + 1.0) * head_dim)
+
+
+def table1_rows(workloads: list[ModelWorkload]) -> list[dict[str, object]]:
+    """Build Table I: per-model op counts (millions) and reduction ratios."""
+
+    rows = []
+    for workload in workloads:
+        vitality = count_taylor_attention_ops(workload)
+        baseline = count_vanilla_attention_ops(workload)
+        rows.append({
+            "model": workload.name,
+            "vitality": vitality.in_millions(),
+            "baseline": baseline.in_millions(),
+            "ratio_mul": baseline.multiplications / vitality.multiplications,
+            "ratio_add": baseline.additions / vitality.additions,
+            "ratio_div": baseline.divisions / vitality.divisions,
+        })
+    return rows

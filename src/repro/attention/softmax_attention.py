@@ -1,0 +1,59 @@
+"""Vanilla scaled dot-product softmax attention (the BASELINE method).
+
+This is the quadratic-cost attention of the original Transformer/ViT:
+
+    Step 2:  S = softmax(Q K^T / sqrt(d))
+    Step 3:  Z = S V
+
+Both a differentiable module (used when training baseline models) and a
+plain-numpy functional version (used by the profiling and hardware workload
+code) are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.base import AttentionModule
+from repro.tensor import Tensor, softmax
+
+
+def softmax_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                      return_map: bool = False):
+    """Numpy softmax attention over (..., tokens, head_dim) arrays."""
+
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    head_dim = q.shape[-1]
+    logits = q @ np.swapaxes(k, -1, -2) / np.sqrt(head_dim)
+    logits = logits - logits.max(axis=-1, keepdims=True)
+    weights = np.exp(logits)
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+    scores = weights @ v
+    if return_map:
+        return scores, weights
+    return scores
+
+
+class SoftmaxAttention(AttentionModule):
+    """Differentiable vanilla softmax attention."""
+
+    name = "softmax"
+
+    def __init__(self, attention_dropout: float = 0.0):
+        super().__init__()
+        self.attention_dropout = attention_dropout
+        self._rng = np.random.default_rng(0)
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        geometry = self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        scale = 1.0 / np.sqrt(geometry.head_dim)
+        logits = (q @ k.transpose()) * scale
+        weights = softmax(logits, axis=-1)
+        if self.training and self.attention_dropout > 0.0:
+            mask = (self._rng.random(weights.shape) >= self.attention_dropout)
+            weights = weights * Tensor(mask / (1.0 - self.attention_dropout))
+        self.last_stats = {"attention_entries": float(np.prod(weights.shape))}
+        return weights @ v

@@ -1,0 +1,179 @@
+"""Sanger-style dynamic sparse attention (the SPARSE method).
+
+Sanger (Lu et al., MICRO 2021) predicts which attention entries matter by
+computing a *quantised* low-precision attention map, thresholding it to get a
+binary sparsity mask, and then evaluating the full-precision attention only at
+the surviving positions.  The resulting irregular mask is rearranged into
+hardware-friendly structured blocks with a "pack and split" step.
+
+ViTALiTy uses this mechanism in two roles:
+
+* as the standalone SPARSE baseline (threshold ``T = 0.02``), and
+* as the sparse component that approximates the higher-order Taylor terms
+  while fine-tuning ViTALiTy models (threshold ``T = 0.5``), see
+  :mod:`repro.attention.unified_attention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.base import AttentionModule
+from repro.tensor import Tensor, softmax
+
+
+_MASKED_LOGIT = -1e9
+
+
+def quantize_symmetric(values: np.ndarray, bits: int = 4) -> np.ndarray:
+    """Symmetric uniform quantisation (dequantised back to float).
+
+    Sanger predicts the sparsity mask from a low-precision (4-bit) rendition
+    of Q and K; this helper returns the dequantised values so the prediction
+    path stays in ordinary float arithmetic while carrying quantisation error.
+    """
+
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = np.max(np.abs(values), axis=-1, keepdims=True)
+    max_abs = np.where(max_abs == 0.0, 1.0, max_abs)
+    levels = 2 ** (bits - 1) - 1
+    scale = max_abs / levels
+    return np.round(values / scale) * scale
+
+
+def predict_sparsity_mask(q: np.ndarray, k: np.ndarray, threshold: float,
+                          bits: int = 4) -> np.ndarray:
+    """Predict the binary attention mask from quantised queries and keys.
+
+    Returns a boolean array of shape ``(..., n, n)`` where ``True`` marks the
+    (query, key) pairs whose predicted softmax probability reaches the
+    threshold.  Every row is guaranteed at least one active entry (its argmax)
+    so the subsequent masked softmax is always well defined.
+    """
+
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    head_dim = q.shape[-1]
+    q_quant = quantize_symmetric(q, bits=bits)
+    k_quant = quantize_symmetric(k, bits=bits)
+    logits = q_quant @ np.swapaxes(k_quant, -1, -2) / np.sqrt(head_dim)
+    logits = logits - logits.max(axis=-1, keepdims=True)
+    probabilities = np.exp(logits)
+    probabilities = probabilities / probabilities.sum(axis=-1, keepdims=True)
+    mask = probabilities >= threshold
+
+    # Keep at least the strongest key for every query row.
+    argmax = probabilities.argmax(axis=-1)
+    rows = np.indices(argmax.shape)
+    full_index = tuple(rows) + (argmax,)
+    mask[full_index] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class PackAndSplitResult:
+    """Outcome of Sanger's pack-and-split load balancing.
+
+    Attributes:
+        packed_rows: number of hardware rows after splitting long rows and
+            packing short ones, per attention head.
+        density: fraction of active entries in the mask.
+        load_balance_efficiency: ratio of average to maximum per-packed-row
+            occupancy — 1.0 means perfectly balanced PE rows.
+    """
+
+    packed_rows: int
+    density: float
+    load_balance_efficiency: float
+
+
+def pack_and_split(mask: np.ndarray, row_capacity: int = 64) -> PackAndSplitResult:
+    """Rearrange an irregular sparse mask into structured rows of fixed capacity.
+
+    Long mask rows are *split* into chunks of at most ``row_capacity`` active
+    entries and short chunks are *packed* together first-fit, mirroring the
+    "pack and split" strategy Sanger uses to feed its reconfigurable PE array.
+    """
+
+    if row_capacity <= 0:
+        raise ValueError("row_capacity must be positive")
+    mask = np.asarray(mask, dtype=bool)
+    flat_rows = mask.reshape(-1, mask.shape[-1])
+    nonzeros_per_row = flat_rows.sum(axis=1)
+
+    # Split: each row becomes ceil(nnz / capacity) chunks (rows with zero
+    # active entries contribute nothing to the packed workload).
+    chunks: list[int] = []
+    for count in nonzeros_per_row:
+        count = int(count)
+        while count > row_capacity:
+            chunks.append(row_capacity)
+            count -= row_capacity
+        if count > 0:
+            chunks.append(count)
+
+    # Pack: first-fit the chunks into hardware rows of ``row_capacity`` slots.
+    packed: list[int] = []
+    for chunk in sorted(chunks, reverse=True):
+        for index, occupancy in enumerate(packed):
+            if occupancy + chunk <= row_capacity:
+                packed[index] = occupancy + chunk
+                break
+        else:
+            packed.append(chunk)
+
+    total = mask.size
+    active = int(mask.sum())
+    density = active / total if total else 0.0
+    if packed:
+        load_balance = float(np.mean(packed) / np.max(packed))
+    else:
+        load_balance = 1.0
+    return PackAndSplitResult(
+        packed_rows=len(packed),
+        density=density,
+        load_balance_efficiency=load_balance,
+    )
+
+
+class SangerSparseAttention(AttentionModule):
+    """Differentiable Sanger sparse attention.
+
+    The sparsity mask is predicted from quantised Q/K (no gradient through the
+    prediction), applied to the full-precision attention logits, and the
+    masked softmax re-normalises over the surviving entries only.
+    """
+
+    name = "sparse"
+
+    def __init__(self, threshold: float = 0.02, bits: int = 4):
+        super().__init__()
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+        self.bits = bits
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        geometry = self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        scale = 1.0 / np.sqrt(geometry.head_dim)
+
+        mask = predict_sparsity_mask(q.data, k.data, self.threshold, bits=self.bits)
+        logits = (q @ k.transpose()) * scale
+        masked_logits = logits.where(mask, Tensor(np.full(logits.shape, _MASKED_LOGIT)))
+        weights = softmax(masked_logits, axis=-1)
+        # Zero out any numerically negligible leakage into masked positions.
+        weights = weights * Tensor(mask.astype(np.float64))
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+
+        self.last_stats = {
+            "mask_density": float(mask.mean()),
+            "attention_entries": float(mask.sum()),
+        }
+        return weights @ v

@@ -1,0 +1,162 @@
+"""ViTALiTy's linear first-order Taylor attention (Algorithm 1, Section III).
+
+The vanilla softmax attention is rewritten with mean-centred keys (Property 1)
+and then approximated by the first-order Taylor expansion of ``exp`` around
+zero, ``exp(x) ~= 1 + x``, which is accurate for the "weak" (query, key)
+connections whose similarity lies in ``[-1, 1)``:
+
+    numerator    T_N = sqrt(d) * 1_n v_sum + Q G        with  G = K_hat^T V
+    denominator  t_D = n sqrt(d) * 1_n + Q k_hat_sum^T  with  k_hat_sum = 1_n^T K_hat
+    score        Z   = diag(t_D)^-1  T_N
+
+Because the attention is never materialised as an ``n x n`` matrix — only the
+``d x d`` global context matrix ``G`` is formed — the computational and memory
+cost is linear in the number of tokens ``n``.
+
+Note a structural property the paper's Algorithm 1 keeps implicit: with exact
+row-mean-centering the column sum of the centred keys ``k_hat_sum`` is exactly
+zero, so the Taylor denominator reduces to the constant ``n sqrt(d)``.  The
+implementation still computes the general form (Steps 3–4 of Algorithm 1) so
+that the same code also covers non-centred keys, and so that the hardware
+model's SA-Diag / accumulator chunks have the exact workload the paper maps
+onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.base import AttentionModule
+from repro.attention.mean_centering import mean_center_keys, mean_center_keys_array
+from repro.tensor import Tensor
+
+
+@dataclass
+class TaylorAttentionIntermediates:
+    """All intermediate arrays of Algorithm 1, exposed for hardware modelling.
+
+    The accelerator pipeline (Section IV-C) schedules each of these
+    computations onto a dedicated chunk; having them as named fields lets the
+    cycle-level simulator and the tests refer to exactly the same quantities.
+    """
+
+    k_hat: np.ndarray          # Step 1: mean-centred keys, (.., n, d)
+    global_context: np.ndarray  # Step 2: G = K_hat^T V, (.., d, d)
+    k_hat_sum: np.ndarray       # Step 3: column sum of K_hat, (.., 1, d)
+    v_sum: np.ndarray           # Step 3: column sum of V, (.., 1, d)
+    denominator: np.ndarray     # Step 4: t_D, (.., n, 1)
+    numerator: np.ndarray       # Step 5: T_N, (.., n, d)
+    score: np.ndarray           # Step 6: Z, (.., n, d)
+
+
+def global_context_matrix(k: np.ndarray, v: np.ndarray, centre: bool = True) -> np.ndarray:
+    """Compute the global context matrix ``G = K_hat^T V`` (numpy)."""
+
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if centre:
+        k = mean_center_keys_array(k)
+    return np.swapaxes(k, -1, -2) @ v
+
+
+def taylor_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                     return_intermediates: bool = False):
+    """Numpy implementation of Algorithm 1 (inference fast-path).
+
+    Returns the Taylor attention score of shape ``(..., n, d)``; with
+    ``return_intermediates=True`` it instead returns a
+    :class:`TaylorAttentionIntermediates` carrying every step's output.
+    """
+
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    # ``n`` in Algorithm 1 is the number of key/value tokens attended over
+    # (it equals the query count except in LeViT's shrinking attention).
+    tokens, head_dim = k.shape[-2], q.shape[-1]
+    sqrt_d = np.sqrt(head_dim)
+
+    # Step 1: mean-centre the keys.
+    k_hat = mean_center_keys_array(k)
+    # Step 2: global context matrix.
+    global_context = np.swapaxes(k_hat, -1, -2) @ v
+    # Step 3: column sums of keys and values.
+    k_hat_sum = k_hat.sum(axis=-2, keepdims=True)
+    v_sum = v.sum(axis=-2, keepdims=True)
+    # Step 4: Taylor denominator.
+    denominator = tokens * sqrt_d + q @ np.swapaxes(k_hat_sum, -1, -2)
+    # Step 5: Taylor numerator.
+    numerator = sqrt_d * v_sum + q @ global_context
+    # Step 6: Taylor attention score.
+    score = numerator / denominator
+
+    if return_intermediates:
+        return TaylorAttentionIntermediates(
+            k_hat=k_hat,
+            global_context=global_context,
+            k_hat_sum=k_hat_sum,
+            v_sum=v_sum,
+            denominator=denominator,
+            numerator=numerator,
+            score=score,
+        )
+    return score
+
+
+def taylor_attention_map(q: np.ndarray, k: np.ndarray, normalise: bool = True) -> np.ndarray:
+    """Materialise the (normally implicit) first-order Taylor attention map.
+
+    Used only for analysis (residual computation in the unified training
+    attention, Fig. 3/ablation plots); the production inference path never
+    forms this ``n x n`` matrix.
+    """
+
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    tokens, head_dim = k.shape[-2], q.shape[-1]
+    sqrt_d = np.sqrt(head_dim)
+    k_hat = mean_center_keys_array(k)
+    unnormalised = sqrt_d + q @ np.swapaxes(k_hat, -1, -2)
+    if not normalise:
+        return unnormalised
+    k_hat_sum = k_hat.sum(axis=-2, keepdims=True)
+    denominator = tokens * sqrt_d + q @ np.swapaxes(k_hat_sum, -1, -2)
+    return unnormalised / denominator
+
+
+class TaylorAttention(AttentionModule):
+    """Differentiable linear Taylor attention (the LOWRANK component).
+
+    The forward pass follows Algorithm 1 with Tensor operations so that the
+    same code path is used when fine-tuning ViTALiTy models; the associative
+    ordering ``Q (K_hat^T V)`` is preserved, so the computational cost of the
+    forward (and backward) pass is linear in the number of tokens.
+    """
+
+    name = "taylor"
+
+    def __init__(self, eps: float = 1e-9):
+        super().__init__()
+        self.eps = eps
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        geometry = self._check_shapes(q, k, v)
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        tokens, head_dim = k.shape[2], geometry.head_dim
+        sqrt_d = float(np.sqrt(head_dim))
+
+        k_hat = mean_center_keys(k)                       # Step 1
+        global_context = k_hat.transpose() @ v            # Step 2
+        k_hat_sum = k_hat.sum(axis=-2, keepdims=True)      # Step 3
+        v_sum = v.sum(axis=-2, keepdims=True)              # Step 3
+        denominator = (q @ k_hat_sum.transpose()) + tokens * sqrt_d   # Step 4
+        numerator = (q @ global_context) + v_sum * sqrt_d             # Step 5
+        score = numerator / (denominator + self.eps)                   # Step 6
+
+        self.last_stats = {
+            "global_context_entries": float(np.prod(global_context.shape)),
+            "attention_entries": 0.0,  # the n x n map is never materialised
+        }
+        return score

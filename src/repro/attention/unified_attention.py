@@ -1,0 +1,112 @@
+"""ViTALiTy's unified low-rank + sparse attention (Section III-D, Fig. 4).
+
+The vanilla softmax attention is decoupled into
+
+    softmax(Q K_hat^T / sqrt(d))  ~=  Taylor|m=1  ("weak", low-rank, linear)
+                                    + Taylor|m>1 ("strong", sparse residual)
+
+During **training** the strong component is approximated by a Sanger-style
+sparse mask applied to the residual between the exact softmax attention map
+and the first-order Taylor map; the masked residual is added back so the
+model sees (approximately) the full softmax attention while the gradient
+shapes the weights to work well with the linear part.  The paper's key
+empirical findings, which the reproduction exposes as statistics:
+
+* the sparse component's occupancy shrinks over training (Fig. 14), because
+  the low-rank term renders the residual increasingly sparse, and
+* at **inference** the sparse component can be dropped entirely
+  (``inference_mode=True`` or ``module.eval()``), leaving only the linear
+  Taylor attention and hence no runtime sparsity overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.base import AttentionModule
+from repro.attention.sparse_attention import predict_sparsity_mask
+from repro.attention.softmax_attention import softmax_attention
+from repro.attention.taylor_attention import TaylorAttention, taylor_attention_map
+from repro.tensor import Tensor, softmax
+
+
+class ViTALiTyAttention(AttentionModule):
+    """Unified low-rank (Taylor) + sparse (Sanger residual) attention.
+
+    Args:
+        threshold: Sanger sparsity threshold ``T`` used to predict the mask
+            for the strong/residual component.  The paper's optimum for
+            fine-tuning is ``T = 0.5``.
+        bits: quantisation bit-width of the mask predictor.
+        residual_epsilon: residual entries with magnitude below this value are
+            treated as zero when reporting the sparse-component occupancy
+            (the Fig. 14 metric).
+        use_sparse_in_eval: if ``True`` the sparse component is also applied
+            in eval mode (this reproduces the LOWRANK+SPARSE rows of the
+            ablation); the default ViTALiTy behaviour drops it.
+    """
+
+    name = "vitality"
+
+    def __init__(self, threshold: float = 0.5, bits: int = 4,
+                 residual_epsilon: float = 1e-3,
+                 use_sparse_in_eval: bool = False):
+        super().__init__()
+        self.threshold = threshold
+        self.bits = bits
+        self.residual_epsilon = residual_epsilon
+        self.use_sparse_in_eval = use_sparse_in_eval
+        self.taylor = TaylorAttention()
+
+    # -- components -------------------------------------------------------------
+
+    def _low_rank_component(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        return self.taylor(q, k, v)
+
+    def _sparse_residual_component(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        """Masked residual between softmax and first-order Taylor attention maps.
+
+        The residual map (softmax minus Taylor) stands in for the higher-order
+        Taylor terms; the Sanger mask keeps only the "strong" connections.
+        The residual weights are treated as constants (mask prediction and
+        map difference are not back-propagated through), so gradients flow to
+        the model through the values and through the low-rank path — the
+        sparse term acts as the regulariser described in the paper.
+        """
+
+        geometry = self._check_shapes(q, k, v)
+        scale = 1.0 / np.sqrt(geometry.head_dim)
+
+        mask = predict_sparsity_mask(q.data, k.data, self.threshold, bits=self.bits)
+
+        # Exact softmax map and first-order Taylor map, both as constants.
+        logits = q.data @ np.swapaxes(k.data, -1, -2) * scale
+        logits = logits - logits.max(axis=-1, keepdims=True)
+        softmax_map = np.exp(logits)
+        softmax_map = softmax_map / softmax_map.sum(axis=-1, keepdims=True)
+        taylor_map = taylor_attention_map(q.data, k.data, normalise=True)
+
+        residual = (softmax_map - taylor_map) * mask
+        occupancy = float(np.mean(np.abs(residual) > self.residual_epsilon))
+        self.last_stats["sparse_mask_density"] = float(mask.mean())
+        self.last_stats["sparse_residual_occupancy"] = occupancy
+        self.last_stats["sparse_residual_magnitude"] = float(np.mean(np.abs(residual)))
+        return Tensor(residual) @ v
+
+    # -- forward ------------------------------------------------------------------
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        q, k, v = Tensor._ensure(q), Tensor._ensure(k), Tensor._ensure(v)
+        self.last_stats = {}
+        low_rank = self._low_rank_component(q, k, v)
+        include_sparse = self.training or self.use_sparse_in_eval
+        if include_sparse:
+            sparse = self._sparse_residual_component(q, k, v)
+            output = low_rank + sparse
+        else:
+            self.last_stats["sparse_mask_density"] = 0.0
+            self.last_stats["sparse_residual_occupancy"] = 0.0
+            self.last_stats["sparse_residual_magnitude"] = 0.0
+            output = low_rank
+        self.last_stats["uses_sparse_component"] = float(include_sparse)
+        return output

@@ -1,0 +1,97 @@
+"""Command-line interface for the reproduction.
+
+Usage examples::
+
+    python -m repro list                      # list experiments and models
+    python -m repro run tab1                  # regenerate Table I
+    python -m repro run fig11 --json          # Fig. 11 speedups as JSON
+    python -m repro run fig13 --full          # training ablation with long settings
+    python -m repro accelerate deit-tiny      # accelerator vs baselines for one model
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments.reporting import render_experiment
+from repro.models import available_attention_modes, available_models
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="ViTALiTy (HPCA 2023) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments, models and attention modes")
+
+    run = subparsers.add_parser("run", help="run one experiment by identifier")
+    run.add_argument("experiment", help="experiment id, e.g. tab1, fig11, fig13")
+    run.add_argument("--json", action="store_true", help="print raw JSON instead of markdown")
+    run.add_argument("--full", action="store_true",
+                     help="use the long (quick=False) settings for training experiments")
+
+    accelerate = subparsers.add_parser("accelerate",
+                                       help="run the accelerator comparison for one model")
+    accelerate.add_argument("model", choices=available_models())
+    accelerate.add_argument("--json", action="store_true")
+    return parser
+
+
+def _command_list() -> int:
+    print("Experiments:")
+    for identifier in list_experiments():
+        spec = get_experiment(identifier)
+        print(f"  {identifier:18s} {spec.paper_reference:18s} {spec.title}")
+    print("\nModels:          " + ", ".join(available_models()))
+    print("Attention modes: " + ", ".join(available_attention_modes()))
+    return 0
+
+
+def _command_run(identifier: str, as_json: bool, full: bool) -> int:
+    spec = get_experiment(identifier)
+    kwargs = {}
+    if full and "quick" in spec.runner.__code__.co_varnames:
+        kwargs["quick"] = False
+    result = run_experiment(identifier, **kwargs)
+    if as_json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(f"# {spec.paper_reference} — {spec.title}\n")
+        print(render_experiment(identifier, result))
+    return 0
+
+
+def _command_accelerate(model: str, as_json: bool) -> int:
+    from repro.experiments.hardware_exps import fig11_latency_speedup, fig12_energy_efficiency
+
+    latency = fig11_latency_speedup(models=(model,))[model]
+    energy = fig12_energy_efficiency(models=(model,))[model]
+    payload = {"model": model, "latency_speedup": latency, "energy_efficiency": energy}
+    if as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_experiment("accelerate", {"latency speedup": latency,
+                                               "energy efficiency": energy}))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "list":
+        return _command_list()
+    if arguments.command == "run":
+        try:
+            return _command_run(arguments.experiment, arguments.json, arguments.full)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+    if arguments.command == "accelerate":
+        return _command_accelerate(arguments.model, arguments.json)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

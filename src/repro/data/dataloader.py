@@ -1,0 +1,40 @@
+"""Mini-batch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate (images, labels) mini-batches, optionally shuffling each epoch."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, batch_size: int,
+                 shuffle: bool = True, seed: int = 0, drop_last: bool = False):
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) differ in length")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.images), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.images))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                break
+            yield self.images[index], self.labels[index]

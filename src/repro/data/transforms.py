@@ -1,0 +1,43 @@
+"""Lightweight image transforms used by the training recipe."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_images(images: np.ndarray, mean: float = 0.5, std: float = 0.5) -> np.ndarray:
+    """Standardise pixel values (broadcast scalar mean/std over all channels)."""
+
+    if std == 0:
+        raise ValueError("std must be non-zero")
+    return (np.asarray(images, dtype=np.float64) - mean) / std
+
+
+def horizontal_flip(images: np.ndarray, probability: float = 0.5,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Randomly flip each image left-right with the given probability."""
+
+    rng = rng or np.random.default_rng()
+    images = np.asarray(images).copy()
+    flips = rng.random(len(images)) < probability
+    images[flips] = images[flips][..., ::-1]
+    return images
+
+
+def random_crop_pad(images: np.ndarray, padding: int = 2,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Pad reflectively and take a random crop of the original size."""
+
+    if padding <= 0:
+        return np.asarray(images)
+    rng = rng or np.random.default_rng()
+    images = np.asarray(images)
+    batch, channels, height, width = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                    mode="reflect")
+    output = np.empty_like(images)
+    for index in range(batch):
+        top = rng.integers(0, 2 * padding + 1)
+        left = rng.integers(0, 2 * padding + 1)
+        output[index] = padded[index, :, top:top + height, left:left + width]
+    return output

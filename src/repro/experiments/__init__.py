@@ -1,0 +1,29 @@
+"""Experiment drivers: one callable per table/figure of the paper's evaluation.
+
+Every experiment is registered in :mod:`repro.experiments.registry` under the
+identifier used throughout DESIGN.md and EXPERIMENTS.md (``fig10``, ``tab1``,
+...).  The benchmark harness in ``benchmarks/`` calls these drivers; they can
+also be run directly:
+
+    from repro.experiments import run_experiment
+    result = run_experiment("tab1")
+"""
+
+from repro.experiments.registry import (
+    ExperimentSpec,
+    list_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments import complexity, profiling_exps, hardware_exps, accuracy_exps
+
+__all__ = [
+    "ExperimentSpec",
+    "list_experiments",
+    "get_experiment",
+    "run_experiment",
+    "complexity",
+    "profiling_exps",
+    "hardware_exps",
+    "accuracy_exps",
+]

@@ -1,0 +1,167 @@
+"""Hardware experiments: Figs. 11-12, Tables III/V/VI and the SALO comparison."""
+
+from __future__ import annotations
+
+from repro.hardware import (
+    Dataflow,
+    SALOAccelerator,
+    SangerAccelerator,
+    SangerAcceleratorConfig,
+    ViTALiTyAccelerator,
+    ViTALiTyAcceleratorConfig,
+    get_platform,
+    linear_attention_processor_requirements,
+)
+from repro.workloads import get_workload, list_workloads
+
+#: Paper-reported average speedups / energy-efficiency gains (for EXPERIMENTS.md).
+PAPER_FIG11_AVERAGE = {"gpu": 2.0, "sanger": 3.0, "edge_gpu": 30.0, "cpu": 53.0}
+PAPER_FIG12_AVERAGE = {"sanger": 3.0, "gpu": 73.0, "edge_gpu": 67.0, "cpu": 115.0}
+PAPER_ATTENTION_SPEEDUP = {"cpu": 236.0, "edge_gpu": 239.0, "gpu": 9.0, "sanger": 7.0}
+PAPER_ATTENTION_ENERGY = {"cpu": 537.0, "edge_gpu": 309.0, "gpu": 187.0, "sanger": 6.0}
+
+
+def _vitality_result(model: str, peak_macs: float | None = None):
+    accelerator = ViTALiTyAccelerator()
+    if peak_macs is not None and peak_macs > accelerator.peak_macs_per_second:
+        accelerator = accelerator.scaled_to_peak(peak_macs)
+    return accelerator.run_model(get_workload(model))
+
+
+def fig11_latency_speedup(models: tuple[str, ...] | None = None) -> dict[str, dict[str, float]]:
+    """Fig. 11: end-to-end (and attention-only) latency speedup of ViTALiTy.
+
+    Returns ``{model: {baseline: speedup}}`` for the CPU / edge GPU / GPU
+    platform models and the Sanger accelerator, plus ``attention_*`` entries
+    for the attention-only speedups quoted in the text.
+    """
+
+    models = models or tuple(list_workloads())
+    sanger = SangerAccelerator()
+    rows: dict[str, dict[str, float]] = {}
+    for model in models:
+        workload = get_workload(model)
+        own = _vitality_result(model)
+        sanger_result = sanger.run_model(workload)
+        row = {
+            "sanger": sanger_result.end_to_end_latency / own.end_to_end_latency,
+            "attention_sanger": sanger_result.attention_latency / own.attention_latency,
+        }
+        for platform_name in ("cpu", "edge_gpu", "gpu"):
+            platform = get_platform(platform_name)
+            scaled = _vitality_result(model, peak_macs=platform.peak_macs_per_second)
+            row[platform_name] = (platform.end_to_end_latency(workload)
+                                  / scaled.end_to_end_latency)
+            row[f"attention_{platform_name}"] = (platform.attention_latency(workload)
+                                                 / scaled.attention_latency)
+        rows[model] = row
+    return rows
+
+
+def fig12_energy_efficiency(models: tuple[str, ...] | None = None) -> dict[str, dict[str, float]]:
+    """Fig. 12: end-to-end (and attention-only) energy-efficiency improvement."""
+
+    models = models or tuple(list_workloads())
+    sanger = SangerAccelerator()
+    rows: dict[str, dict[str, float]] = {}
+    for model in models:
+        workload = get_workload(model)
+        own = _vitality_result(model)
+        sanger_result = sanger.run_model(workload)
+        row = {
+            "sanger": sanger_result.end_to_end_energy / own.end_to_end_energy,
+            "attention_sanger": sanger_result.attention_energy / own.attention_energy,
+        }
+        for platform_name in ("cpu", "edge_gpu", "gpu"):
+            platform = get_platform(platform_name)
+            scaled = _vitality_result(model, peak_macs=platform.peak_macs_per_second)
+            row[platform_name] = (platform.end_to_end_energy(workload)
+                                  / scaled.end_to_end_energy)
+            row[f"attention_{platform_name}"] = (platform.attention_energy(workload)
+                                                 / scaled.attention_energy)
+        rows[model] = row
+    return rows
+
+
+def table3_configurations() -> dict[str, dict[str, float]]:
+    """Table III: area/power inventories of the ViTALiTy and Sanger accelerators."""
+
+    vitality = ViTALiTyAcceleratorConfig()
+    sanger = SangerAcceleratorConfig()
+    return {
+        "vitality": {
+            "total_area_mm2": vitality.total_area_mm2,
+            "total_power_mw": vitality.total_power_mw,
+            "sa_general_area_mm2": vitality.sa_general.area_mm2,
+            "sa_general_power_mw": vitality.sa_general.power_mw,
+        },
+        "sanger": {
+            "total_area_mm2": sanger.total_area_mm2,
+            "total_power_mw": sanger.total_power_mw,
+            "re_pe_area_mm2": sanger.re_pe_array.area_mm2,
+            "re_pe_power_mw": sanger.re_pe_array.power_mw,
+        },
+    }
+
+
+def table5_dataflow_energy(models: tuple[str, ...] = ("deit-base", "mobilevit-xxs",
+                                                      "mobilevit-xs", "levit-128s", "levit-128")
+                           ) -> dict[str, dict[str, dict[str, float]]]:
+    """Table V: Taylor-attention energy under G-stationary vs down-forward dataflows."""
+
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    for model in models:
+        workload = get_workload(model)
+        per_dataflow: dict[str, dict[str, float]] = {}
+        for dataflow in (Dataflow.G_STATIONARY, Dataflow.DOWN_FORWARD):
+            accelerator = ViTALiTyAccelerator(dataflow=dataflow)
+            breakdown = accelerator.attention_energy_breakdown(workload)
+            per_dataflow[dataflow.value] = {
+                "data_access_uj": breakdown.data_access * 1e6,
+                "other_processors_uj": breakdown.other_processors * 1e6,
+                "systolic_array_uj": breakdown.systolic_array * 1e6,
+                "overall_uj": breakdown.overall * 1e6,
+            }
+        rows[model] = per_dataflow
+    return rows
+
+
+def table6_extension() -> dict[str, dict[str, object]]:
+    """Table VI: pre/post-processors required by each linear-attention family."""
+
+    requirements = linear_attention_processor_requirements()
+    return {
+        name: {
+            "attention_type": req.attention_type,
+            "model": req.model,
+            "detail": req.detail,
+            "processors": req.processor_list(),
+        }
+        for name, req in requirements.items()
+    }
+
+
+def salo_comparison(models: tuple[str, ...] = ("deit-tiny", "deit-small")) -> dict[str, float]:
+    """Section V-C: attention speedup of ViTALiTy over SALO under the same budget."""
+
+    salo = SALOAccelerator()
+    speedups: dict[str, float] = {}
+    for model in models:
+        workload = get_workload(model)
+        own = ViTALiTyAccelerator().run_model(workload, include_linear=False)
+        other = salo.run_model(workload)
+        speedups[model] = other.attention_latency / own.attention_latency
+    return speedups
+
+
+def pipeline_ablation(model: str = "deit-tiny") -> dict[str, float]:
+    """Design-choice ablation: intra-layer pipelining on vs off."""
+
+    workload = get_workload(model)
+    pipelined = ViTALiTyAccelerator(pipelined=True).run_model(workload, include_linear=False)
+    sequential = ViTALiTyAccelerator(pipelined=False).run_model(workload, include_linear=False)
+    return {
+        "pipelined_attention_ms": pipelined.attention_latency * 1e3,
+        "sequential_attention_ms": sequential.attention_latency * 1e3,
+        "throughput_gain": sequential.attention_latency / pipelined.attention_latency,
+    }

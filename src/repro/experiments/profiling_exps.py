@@ -1,0 +1,32 @@
+"""Profiling experiments: Fig. 1 runtime breakdown and Table II step profiles."""
+
+from __future__ import annotations
+
+from repro.profiling.breakdown import mha_runtime_breakdown_table, table2_rows
+
+#: Fig. 1 values from the paper: share of MHA runtime per step and platform.
+PAPER_FIG1 = {
+    "gpu": {"step1_qkv": 0.25, "step2_softmax_map": 0.52, "step3_attention_score": 0.23},
+    "edge_gpu": {"step1_qkv": 0.21, "step2_softmax_map": 0.55, "step3_attention_score": 0.24},
+    "pixel3": {"step1_qkv": 0.13, "step2_softmax_map": 0.58, "step3_attention_score": 0.29},
+}
+
+#: Table II overall latencies (ms) on the edge GPU from the paper.
+PAPER_TABLE2_TOTALS = {
+    "deit-tiny": {"taylor": 14.03, "vanilla": 11.65},
+    "mobilevit-xs": {"taylor": 2.76, "vanilla": 1.79},
+    "levit-128": {"taylor": 4.43, "vanilla": 2.76},
+}
+
+
+def fig1_runtime_breakdown(model: str = "deit-tiny") -> dict[str, dict[str, float]]:
+    """Fig. 1: MHA runtime breakdown of DeiT-Tiny on GPU / edge GPU / Pixel 3."""
+
+    return mha_runtime_breakdown_table(model)
+
+
+def table2_latency_profile(models: tuple[str, ...] = ("deit-tiny", "mobilevit-xs", "levit-128")
+                           ) -> list[dict[str, object]]:
+    """Table II: per-step latency of Taylor vs vanilla attention on the edge GPU."""
+
+    return table2_rows(models)

@@ -1,0 +1,90 @@
+"""Registry mapping experiment identifiers to their driver callables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import accuracy_exps, complexity, hardware_exps, profiling_exps
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible experiment: its id, what it reproduces, and its driver."""
+
+    identifier: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., object]
+
+    def run(self, **kwargs):
+        return self.runner(**kwargs)
+
+
+_EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def _register(identifier: str, title: str, paper_reference: str,
+              runner: Callable[..., object]) -> None:
+    _EXPERIMENTS[identifier] = ExperimentSpec(identifier, title, paper_reference, runner)
+
+
+_register("fig1", "MHA runtime breakdown across platforms", "Figure 1",
+          profiling_exps.fig1_runtime_breakdown)
+_register("fig3", "Attention distribution under mean-centering", "Figure 3",
+          accuracy_exps.fig3_attention_distribution)
+_register("tab1", "Operation counts: ViTALiTy vs vanilla attention", "Table I",
+          complexity.table1_op_counts)
+_register("tab2", "Per-step latency profile on the edge GPU", "Table II",
+          profiling_exps.table2_latency_profile)
+_register("tab3", "Accelerator configurations (area/power)", "Table III",
+          hardware_exps.table3_configurations)
+_register("tab4_flops", "Attention FLOPs per method", "Table IV (FLOPs column)",
+          complexity.table4_flops)
+_register("tab4_accuracy", "Accuracy per method", "Table IV (accuracy column)",
+          accuracy_exps.table4_accuracy)
+_register("fig10", "Accuracy of method variants across models", "Figure 10",
+          accuracy_exps.fig10_accuracy)
+_register("fig11", "End-to-end latency speedup", "Figure 11",
+          hardware_exps.fig11_latency_speedup)
+_register("fig12", "End-to-end energy efficiency", "Figure 12",
+          hardware_exps.fig12_energy_efficiency)
+_register("fig13", "Training-scheme ablation on DeiT-Tiny", "Figure 13",
+          accuracy_exps.fig13_training_ablation)
+_register("fig14", "Sparse component vanishing over training", "Figure 14",
+          accuracy_exps.fig14_sparsity_vanishing)
+_register("fig15", "Sparsity-threshold sweep", "Figure 15",
+          accuracy_exps.fig15_threshold_sweep)
+_register("tab5", "Dataflow ablation: G-stationary vs down-forward", "Table V",
+          hardware_exps.table5_dataflow_energy)
+_register("tab6", "Accelerator extension to other linear attentions", "Table VI",
+          hardware_exps.table6_extension)
+_register("salo", "Attention speedup over the SALO accelerator", "Section V-C",
+          hardware_exps.salo_comparison)
+_register("pipeline_ablation", "Intra-layer pipeline on/off ablation", "Section IV-C",
+          hardware_exps.pipeline_ablation)
+_register("eq1_3", "Closed-form operation-count ratios", "Equations (1)-(3)",
+          complexity.closed_form_ratios)
+
+
+def list_experiments() -> list[str]:
+    """Identifiers of every registered experiment."""
+
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(identifier: str) -> ExperimentSpec:
+    """Look up an experiment by identifier (e.g. ``"fig11"``)."""
+
+    try:
+        return _EXPERIMENTS[identifier]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {identifier!r}; available: {list_experiments()}"
+        ) from None
+
+
+def run_experiment(identifier: str, **kwargs):
+    """Run one experiment by identifier and return its result structure."""
+
+    return get_experiment(identifier).run(**kwargs)

@@ -1,0 +1,63 @@
+"""Hardware modelling: the ViTALiTy accelerator and its baselines.
+
+The paper evaluates a dedicated ViTALiTy accelerator (Section IV) against
+general-purpose platforms (CPU, GPU, edge GPU) and the Sanger sparse-attention
+accelerator.  This subpackage provides:
+
+* a cycle-level model of the ViTALiTy accelerator — chunked micro-architecture
+  (systolic array split into SA-General/SA-Diag plus accumulator/adder/divider
+  arrays), the intra-layer pipeline, and the down-forward accumulation vs
+  G-stationary dataflows (:mod:`accelerator`, :mod:`systolic`,
+  :mod:`processors`, :mod:`pipeline`);
+* a matching cycle-level model of the Sanger baseline accelerator
+  (:mod:`sanger`) and of the SALO sliding-window accelerator (:mod:`salo`);
+* analytic latency/energy models of the commodity platforms calibrated to the
+  paper's own profiling tables (:mod:`platforms`);
+* the energy/area technology model taken from Table III (:mod:`config`,
+  :mod:`energy`);
+* Table VI's mapping of linear-attention families onto the pre/post
+  processors they need (:mod:`extension`).
+"""
+
+from repro.hardware.config import (
+    ComponentConfig,
+    ViTALiTyAcceleratorConfig,
+    SangerAcceleratorConfig,
+    MemoryEnergyConfig,
+)
+from repro.hardware.common import StepResult, LayerResult, ModelResult, Dataflow
+from repro.hardware.systolic import SystolicArray, matmul_cycles
+from repro.hardware.processors import AccumulatorArray, AdderArray, DividerArray
+from repro.hardware.pipeline import pipeline_latency, sequential_latency
+from repro.hardware.accelerator import ViTALiTyAccelerator
+from repro.hardware.sanger import SangerAccelerator
+from repro.hardware.salo import SALOAccelerator
+from repro.hardware.platforms import Platform, PLATFORMS, get_platform
+from repro.hardware.energy import EnergyBreakdown
+from repro.hardware.extension import linear_attention_processor_requirements
+
+__all__ = [
+    "ComponentConfig",
+    "ViTALiTyAcceleratorConfig",
+    "SangerAcceleratorConfig",
+    "MemoryEnergyConfig",
+    "StepResult",
+    "LayerResult",
+    "ModelResult",
+    "Dataflow",
+    "SystolicArray",
+    "matmul_cycles",
+    "AccumulatorArray",
+    "AdderArray",
+    "DividerArray",
+    "pipeline_latency",
+    "sequential_latency",
+    "ViTALiTyAccelerator",
+    "SangerAccelerator",
+    "SALOAccelerator",
+    "Platform",
+    "PLATFORMS",
+    "get_platform",
+    "EnergyBreakdown",
+    "linear_attention_processor_requirements",
+]

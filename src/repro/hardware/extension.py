@@ -1,0 +1,79 @@
+"""Table VI: pre/post-processor requirements of linear-attention families.
+
+The ViTALiTy accelerator's chunked design generalises to other efficient
+attentions: the systolic array handles every family's matrix multiplications,
+and only the pre/post-processor mix changes with the similarity function.
+This module encodes the paper's Table VI so the extension experiment can
+report, for each family, which processor chunks an accelerator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorRequirements:
+    """Which pre/post-processor chunks an attention family needs."""
+
+    attention_type: str
+    model: str
+    detail: str
+    needs_exponentiation: bool
+    needs_division: bool
+    needs_addition: bool
+    needs_accumulation: bool
+
+    def processor_list(self) -> list[str]:
+        """Human-readable list matching the Table VI "Pre/Post-Processors" column."""
+
+        names = []
+        if self.needs_accumulation:
+            names.append("Acc.")
+        if self.needs_exponentiation:
+            names.append("Exp.")
+        if self.needs_division:
+            names.append("Div.")
+        if self.needs_addition:
+            names.append("Add.")
+        return names
+
+
+_TABLE_VI: dict[str, ProcessorRequirements] = {
+    "linformer": ProcessorRequirements(
+        attention_type="Low-Rank", model="Linformer",
+        detail="Reduce token dim. of K/V",
+        needs_exponentiation=True, needs_division=True,
+        needs_addition=False, needs_accumulation=False),
+    "efficient": ProcessorRequirements(
+        attention_type="Kernel-Based", model="Efficient Attention",
+        detail="phi() = softmax()",
+        needs_exponentiation=True, needs_division=True,
+        needs_addition=False, needs_accumulation=False),
+    "performer": ProcessorRequirements(
+        attention_type="Kernel-Based", model="Performer",
+        detail="Positive orthogonal random features",
+        needs_exponentiation=True, needs_division=True,
+        needs_addition=True, needs_accumulation=False),
+    "linear_transformer": ProcessorRequirements(
+        attention_type="Kernel-Based", model="Linear Transformer",
+        detail="phi() = elu() + 1",
+        needs_exponentiation=True, needs_division=True,
+        needs_addition=True, needs_accumulation=False),
+    "vitality": ProcessorRequirements(
+        attention_type="Taylor-Based", model="ViTALiTy (ours)",
+        detail="Algorithm 1",
+        needs_exponentiation=False, needs_division=True,
+        needs_addition=True, needs_accumulation=True),
+}
+
+
+def linear_attention_processor_requirements(name: str | None = None):
+    """Return Table VI — all rows, or one family when ``name`` is given."""
+
+    if name is None:
+        return dict(_TABLE_VI)
+    try:
+        return _TABLE_VI[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown attention family {name!r}; available: {sorted(_TABLE_VI)}") from None

@@ -1,0 +1,56 @@
+"""Intra-layer pipeline model (Section IV-C, Fig. 7).
+
+The six steps of Algorithm 1 run on four chunks (accumulator array, divider
+array, adder array, systolic array).  Executed sequentially, the light
+pre/post-processing steps add up to a large share of the layer latency (this
+is what Table II shows happening on a GPU).  The ViTALiTy accelerator instead
+overlaps them: while the adder array finishes mean-centering the keys, the
+already-produced columns feed the systolic array and the accumulator array;
+once the first outputs of ``Q G`` / ``Q k_hat_sum^T`` appear, the adder and
+divider arrays start producing the numerator, denominator and final score.
+
+The model captures this with a chunk-occupancy schedule: the pipelined layer
+latency is the maximum chunk busy time plus a fill overhead equal to the
+longest single non-dominant stage (the pipeline cannot hide the first
+occurrence of each dependency), while the sequential latency is the plain sum
+of all step latencies.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.common import StepResult
+
+
+def sequential_latency(steps: list[StepResult]) -> int:
+    """Total cycles when every step runs back to back (no overlap)."""
+
+    return sum(step.cycles for step in steps)
+
+
+def pipeline_latency(steps: list[StepResult]) -> int:
+    """Cycles with intra-layer pipelining across chunks.
+
+    Steps mapped to different chunks overlap; the dominant chunk bounds the
+    throughput and the longest non-dominant step is paid once as fill/drain
+    overhead.
+    """
+
+    if not steps:
+        return 0
+    busy_per_chunk: dict[str, int] = {}
+    for step in steps:
+        busy_per_chunk[step.chunk] = busy_per_chunk.get(step.chunk, 0) + step.cycles
+    dominant_chunk = max(busy_per_chunk, key=busy_per_chunk.get)
+    dominant_cycles = busy_per_chunk[dominant_chunk]
+    non_dominant = [step.cycles for step in steps if step.chunk != dominant_chunk]
+    fill_overhead = max(non_dominant) if non_dominant else 0
+    return dominant_cycles + fill_overhead
+
+
+def pipeline_speedup(steps: list[StepResult]) -> float:
+    """Ratio of sequential to pipelined latency (>= 1)."""
+
+    pipelined = pipeline_latency(steps)
+    if pipelined == 0:
+        return 1.0
+    return sequential_latency(steps) / pipelined

@@ -1,0 +1,83 @@
+"""Pre/post-processor chunks of the ViTALiTy accelerator (Section IV-B).
+
+Three small arrays handle the non-GEMM work of Algorithm 1:
+
+* **Accumulator array** — column(token)-wise summations: ``1_n^T K``,
+  ``k_hat_sum`` and ``v_sum`` (Steps 1 and 3).
+* **Adder array** — element-wise additions/subtractions: the mean-centering
+  subtraction, the Taylor denominator and numerator additions (Steps 1, 4, 5).
+* **Divider array** — reconfigurable between single-divisor mode (dividing the
+  key column sum by ``n`` in Step 1) and multiple-divisors mode (the row-wise
+  division producing the final score in Step 6).
+
+Each array has 64 lanes; an operation batch of ``count`` element-wise
+operations occupies ``ceil(count / lanes)`` cycles and is charged the chunk's
+per-cycle power for those cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.config import ComponentConfig
+
+
+@dataclass
+class VectorExecution:
+    """Outcome of one element-wise / reduction batch on a processor array."""
+
+    cycles: int
+    operations: int
+    energy_joules: float
+
+
+class _LaneArray:
+    """Common behaviour of the 64-lane pre/post-processor chunks."""
+
+    def __init__(self, component: ComponentConfig, frequency_hz: float):
+        self.component = component
+        self.frequency_hz = frequency_hz
+
+    @property
+    def lanes(self) -> int:
+        return self.component.lanes
+
+    def _run(self, operations: int) -> VectorExecution:
+        if operations < 0:
+            raise ValueError("operation count must be non-negative")
+        if operations == 0:
+            return VectorExecution(cycles=0, operations=0, energy_joules=0.0)
+        cycles = math.ceil(operations / self.lanes)
+        energy = cycles * self.component.energy_per_cycle(self.frequency_hz)
+        return VectorExecution(cycles=cycles, operations=operations, energy_joules=energy)
+
+
+class AccumulatorArray(_LaneArray):
+    """Column-wise summation unit."""
+
+    def column_sum(self, tokens: int, features: int) -> VectorExecution:
+        """Accumulate ``tokens`` values for each of ``features`` columns."""
+
+        return self._run(tokens * features)
+
+
+class AdderArray(_LaneArray):
+    """Element-wise addition/subtraction unit."""
+
+    def elementwise(self, count: int) -> VectorExecution:
+        return self._run(count)
+
+
+class DividerArray(_LaneArray):
+    """Element-wise division unit with single- and multiple-divisor modes."""
+
+    def single_divisor(self, count: int) -> VectorExecution:
+        """Divide ``count`` elements by one shared divisor (Step 1 of Algorithm 1)."""
+
+        return self._run(count)
+
+    def multiple_divisors(self, count: int) -> VectorExecution:
+        """Divide ``count`` elements by per-row divisors (Step 6 of Algorithm 1)."""
+
+        return self._run(count)

@@ -1,0 +1,101 @@
+"""Tile-level systolic-array model (Section IV-B / IV-D).
+
+The systolic array processes dense matrix multiplications by tiling the
+operands over its rows/columns.  For an ``R x C`` array computing
+``O = A (M x K) @ B (K x N)`` with an input-stationary mapping, the stationary
+operand ``B`` is loaded tile by tile (``ceil(K/R) * ceil(N/C)`` tiles) and the
+``M`` rows of ``A`` stream through each tile, with partial sums accumulated
+down the columns (down-forward accumulation).  The cycle model counts the
+streaming cycles plus the pipeline fill/drain per tile, and the energy model
+charges the array's per-cycle power for every occupied cycle.
+
+The alternative G-stationary dataflow keeps ``G`` resident in the PEs between
+the two chained products of Algorithm 1; it saves the SRAM traffic of writing
+and re-reading ``G`` but requires reconfigurable PEs (both accumulation
+patterns), which the energy model charges as a per-MAC overhead factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.config import ComponentConfig
+
+
+def matmul_cycles(m: int, k: int, n: int, rows: int, columns: int,
+                  utilization: float = 1.0, batch: int = 1) -> int:
+    """Cycle count for ``batch`` back-to-back ``(m x k) @ (k x n)`` products.
+
+    The stationary operand is tiled into ``ceil(k/rows) * ceil(n/columns)``
+    tiles; each tile streams ``m`` activations (derated by ``utilization`` for
+    tile-edge and skew effects).  With double-buffered weight loading the
+    array's fill/drain latency (``rows + columns`` cycles) is paid once per
+    batched sequence of products rather than once per tile — this is how the
+    accelerator streams all heads of one attention step back to back.
+    """
+
+    if min(m, k, n, rows, columns, batch) <= 0:
+        raise ValueError("matrix and array dimensions must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0, 1]")
+    row_tiles = math.ceil(k / rows)
+    column_tiles = math.ceil(n / columns)
+    streaming = batch * row_tiles * column_tiles * math.ceil(m / utilization)
+    return streaming + rows + columns
+
+
+@dataclass
+class MatmulExecution:
+    """Outcome of running one matrix multiplication on the array."""
+
+    cycles: int
+    macs: int
+    energy_joules: float
+    stationary_loads: int        # words loaded into the PE registers
+    streamed_words: int          # activation words streamed through the array
+    output_words: int            # result words drained from the array
+
+
+class SystolicArray:
+    """A systolic array chunk (SA-General or SA-Diag) with an energy model."""
+
+    def __init__(self, component: ComponentConfig, frequency_hz: float,
+                 utilization: float = 0.7):
+        self.component = component
+        self.frequency_hz = frequency_hz
+        self.utilization = utilization
+
+    @property
+    def rows(self) -> int:
+        return self.component.rows
+
+    @property
+    def columns(self) -> int:
+        return self.component.columns
+
+    @property
+    def num_pes(self) -> int:
+        return self.component.lanes
+
+    def matmul(self, m: int, k: int, n: int, pe_energy_scale: float = 1.0,
+               batch: int = 1) -> MatmulExecution:
+        """Execute ``batch`` ``(m x k) @ (k x n)`` products and account cycles/energy.
+
+        ``pe_energy_scale`` models per-MAC energy overheads such as the
+        reconfigurable-PE cost of the G-stationary dataflow; ``batch`` streams
+        several products (e.g. all heads of one step) back to back so the
+        pipeline fill is amortised.
+        """
+
+        cycles = matmul_cycles(m, k, n, self.rows, self.columns, self.utilization, batch=batch)
+        macs = m * k * n * batch
+        energy = cycles * self.component.energy_per_cycle(self.frequency_hz) * pe_energy_scale
+        return MatmulExecution(
+            cycles=cycles,
+            macs=macs,
+            energy_joules=energy,
+            stationary_loads=k * n * batch,
+            streamed_words=m * k * batch,
+            output_words=m * n * batch,
+        )

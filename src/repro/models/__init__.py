@@ -1,0 +1,51 @@
+"""ViT model zoo: DeiT, MobileViT and LeViT families.
+
+Each model can be instantiated with any attention mechanism from
+``repro.attention`` (softmax baseline, Taylor/LOWRANK, Sanger sparse, the
+unified ViTALiTy attention, or one of the linear baselines), which is how the
+paper's BASELINE / SPARSE / LOWRANK / ViTALiTy method variants are realised.
+
+Two size presets exist per architecture:
+
+* ``"paper"`` — the geometry used in the paper (224x224 inputs, full widths);
+  used for op counting, profiling and hardware experiments.
+* ``"trainable"`` — a reduced-width, reduced-resolution configuration with the
+  same structure, small enough to fine-tune on the synthetic dataset within
+  the accuracy experiments (Figs. 10, 13, 14, 15).
+"""
+
+from repro.models.vit import (
+    MultiHeadAttention,
+    FeedForward,
+    TransformerBlock,
+    VisionTransformer,
+)
+from repro.models.deit import DeiTConfig, create_deit, DEIT_CONFIGS
+from repro.models.mobilevit import MobileViTConfig, create_mobilevit, MOBILEVIT_CONFIGS
+from repro.models.levit import LeViTConfig, create_levit, LEVIT_CONFIGS
+from repro.models.registry import (
+    available_models,
+    available_attention_modes,
+    create_model,
+    make_attention,
+)
+
+__all__ = [
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "VisionTransformer",
+    "DeiTConfig",
+    "create_deit",
+    "DEIT_CONFIGS",
+    "MobileViTConfig",
+    "create_mobilevit",
+    "MOBILEVIT_CONFIGS",
+    "LeViTConfig",
+    "create_levit",
+    "LEVIT_CONFIGS",
+    "available_models",
+    "available_attention_modes",
+    "create_model",
+    "make_attention",
+]

@@ -1,0 +1,94 @@
+"""DeiT model family (Touvron et al.) — the vanilla ViTs evaluated in the paper.
+
+DeiT models are plain ViT encoders trained with a distillation token.  Two
+presets exist per variant:
+
+* ``"paper"`` geometry: 224x224 inputs, 16x16 patches, 197 tokens — matches
+  the workloads in :mod:`repro.workloads` and is used by the hardware and
+  op-counting experiments.
+* ``"trainable"`` geometry: 32x32 inputs, 8x8 patches, small widths — same
+  structure, small enough to fine-tune on the synthetic dataset for the
+  accuracy experiments (Figs. 10/13/14/15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.models.vit import AttentionFactory, VisionTransformer
+
+
+@dataclass(frozen=True)
+class DeiTConfig:
+    """Geometry of one DeiT variant."""
+
+    name: str
+    image_size: int
+    patch_size: int
+    in_channels: int
+    embed_dim: int
+    depth: int
+    num_heads: int
+    num_classes: int
+    mlp_ratio: float = 4.0
+    distillation: bool = True
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+
+_PAPER_CONFIGS = {
+    "deit-tiny": DeiTConfig("deit-tiny", 224, 16, 3, 192, 12, 3, 1000),
+    "deit-small": DeiTConfig("deit-small", 224, 16, 3, 384, 12, 6, 1000),
+    "deit-base": DeiTConfig("deit-base", 224, 16, 3, 768, 12, 12, 1000),
+}
+
+_TRAINABLE_CONFIGS = {
+    "deit-tiny": DeiTConfig("deit-tiny", 32, 8, 3, 48, 4, 3, 10),
+    "deit-small": DeiTConfig("deit-small", 32, 8, 3, 96, 4, 6, 10),
+    "deit-base": DeiTConfig("deit-base", 32, 8, 3, 144, 4, 12, 10),
+}
+
+DEIT_CONFIGS = {"paper": _PAPER_CONFIGS, "trainable": _TRAINABLE_CONFIGS}
+
+
+def create_deit(name: str, preset: str = "trainable",
+                attention_factory: AttentionFactory | None = None,
+                num_classes: int | None = None,
+                distillation: bool | None = None,
+                capture_qkv: bool = False) -> VisionTransformer:
+    """Instantiate a DeiT model.
+
+    Args:
+        name: one of ``deit-tiny``, ``deit-small``, ``deit-base``.
+        preset: ``"paper"`` or ``"trainable"`` geometry.
+        attention_factory: produces the attention mechanism for each layer
+            (defaults to vanilla softmax attention, i.e. the BASELINE method).
+        num_classes / distillation: optional overrides of the preset.
+    """
+
+    try:
+        config = DEIT_CONFIGS[preset][name]
+    except KeyError:
+        raise KeyError(
+            f"unknown DeiT config ({name!r}, preset={preset!r}); "
+            f"available: {sorted(_PAPER_CONFIGS)} with presets {sorted(DEIT_CONFIGS)}"
+        ) from None
+    if num_classes is not None:
+        config = replace(config, num_classes=num_classes)
+    if distillation is not None:
+        config = replace(config, distillation=distillation)
+    return VisionTransformer(
+        image_size=config.image_size,
+        patch_size=config.patch_size,
+        in_channels=config.in_channels,
+        embed_dim=config.embed_dim,
+        depth=config.depth,
+        num_heads=config.num_heads,
+        num_classes=config.num_classes,
+        mlp_ratio=config.mlp_ratio,
+        attention_factory=attention_factory,
+        distillation=config.distillation,
+        capture_qkv=capture_qkv,
+    )

@@ -1,0 +1,245 @@
+"""LeViT model family (Graham et al.) — the hybrid multi-stage ViTs.
+
+LeViT uses a convolutional stem that aggressively downsamples the image, then
+three Transformer stages over progressively fewer tokens (196 / 49 / 16 at
+224x224), with *asymmetric* attention heads: query/key dimension 16 and value
+dimension 32 per head.  Stages are connected by shrinking attention blocks
+whose queries live on the subsampled grid while keys/values come from the
+full-resolution grid.
+
+The reproduction keeps those structural properties — multi-stage token
+reduction, asymmetric QK/V head dims, shrinking attention — and swaps LeViT's
+BatchNorm-over-tokens for LayerNorm (a documented simplification that does
+not affect the attention workload the hardware experiments consume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn
+from repro.attention.base import AttentionModule
+from repro.attention.softmax_attention import SoftmaxAttention
+from repro.models.vit import AttentionFactory, FeedForward
+from repro.tensor import Tensor
+
+
+class LeViTAttention(nn.Module):
+    """LeViT attention with asymmetric per-head QK and V dimensions.
+
+    Optionally performs the *shrinking* variant: queries are computed from a
+    2x-subsampled token grid while keys/values cover the full grid, halving
+    the token count between stages.
+    """
+
+    def __init__(self, embed_dim: int, out_dim: int, num_heads: int,
+                 qk_dim: int = 16, v_dim: int = 32,
+                 attention: AttentionModule | None = None,
+                 shrink: bool = False, grid_size: int | None = None):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.out_dim = out_dim
+        self.num_heads = num_heads
+        self.qk_dim = qk_dim
+        self.v_dim = v_dim
+        self.shrink = shrink
+        self.grid_size = grid_size
+        self.attention = attention if attention is not None else SoftmaxAttention()
+        self.query = nn.Linear(embed_dim, num_heads * qk_dim, bias=False)
+        self.key = nn.Linear(embed_dim, num_heads * qk_dim, bias=False)
+        self.value = nn.Linear(embed_dim, num_heads * v_dim, bias=False)
+        self.projection = nn.Linear(num_heads * v_dim, out_dim)
+        self.activation = nn.Hardswish()
+
+    def _split(self, x: Tensor, dim: int) -> Tensor:
+        batch, tokens, _ = x.shape
+        return x.reshape(batch, tokens, self.num_heads, dim).transpose((0, 2, 1, 3))
+
+    def _subsample(self, x: Tensor) -> Tensor:
+        """Keep every other token along both grid axes (stride-2 subsampling)."""
+
+        if self.grid_size is None:
+            raise RuntimeError("shrinking attention requires grid_size")
+        batch, tokens, channels = x.shape
+        grid = self.grid_size
+        if tokens != grid * grid:
+            raise ValueError(f"expected {grid * grid} tokens for a {grid}x{grid} grid, got {tokens}")
+        x = x.reshape(batch, grid, grid, channels)
+        x = x[:, ::2, ::2, :]
+        new_grid = (grid + 1) // 2
+        return x.reshape(batch, new_grid * new_grid, channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        batch, tokens, _ = x.shape
+        query_input = self._subsample(x) if self.shrink else x
+        q = self._split(self.query(query_input), self.qk_dim)
+        k = self._split(self.key(x), self.qk_dim)
+        v = self._split(self.value(x), self.v_dim)
+        scores = self.attention(q, k, v)
+        q_tokens = scores.shape[2]
+        merged = scores.transpose((0, 2, 1, 3)).reshape(batch, q_tokens, self.num_heads * self.v_dim)
+        return self.projection(self.activation(merged))
+
+
+class LeViTBlock(nn.Module):
+    """One LeViT stage layer: attention + MLP, both with residuals."""
+
+    def __init__(self, embed_dim: int, num_heads: int, mlp_ratio: float = 2.0,
+                 qk_dim: int = 16, v_dim: int = 32,
+                 attention: AttentionModule | None = None):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(embed_dim)
+        self.attention = LeViTAttention(embed_dim, embed_dim, num_heads,
+                                        qk_dim=qk_dim, v_dim=v_dim, attention=attention)
+        self.norm2 = nn.LayerNorm(embed_dim)
+        self.mlp = FeedForward(embed_dim, int(embed_dim * mlp_ratio))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class LeViTDownsample(nn.Module):
+    """Shrinking attention block between stages (halves the token grid)."""
+
+    def __init__(self, in_dim: int, out_dim: int, num_heads: int, grid_size: int,
+                 qk_dim: int = 16, v_dim: int = 32,
+                 attention: AttentionModule | None = None):
+        super().__init__()
+        self.norm = nn.LayerNorm(in_dim)
+        self.attention = LeViTAttention(in_dim, out_dim, num_heads, shrink=True,
+                                        qk_dim=qk_dim, v_dim=v_dim,
+                                        grid_size=grid_size, attention=attention)
+        self.out_grid = (grid_size + 1) // 2
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.attention(self.norm(x))
+
+
+@dataclass(frozen=True)
+class LeViTConfig:
+    """Geometry of one LeViT variant."""
+
+    name: str
+    image_size: int
+    stem_channels: tuple[int, ...]
+    stage_dims: tuple[int, int, int]
+    stage_depths: tuple[int, int, int]
+    stage_heads: tuple[int, int, int]
+    downsample_heads: tuple[int, int]
+    num_classes: int
+    qk_dim: int = 16
+    v_dim: int = 32
+
+
+_PAPER_CONFIGS = {
+    "levit-128s": LeViTConfig("levit-128s", 224, (16, 32, 64, 128), (128, 256, 384),
+                              (2, 3, 4), (4, 6, 8), (8, 16), 1000),
+    "levit-128": LeViTConfig("levit-128", 224, (16, 32, 64, 128), (128, 256, 384),
+                             (4, 4, 4), (4, 8, 12), (8, 16), 1000),
+}
+
+_TRAINABLE_CONFIGS = {
+    "levit-128s": LeViTConfig("levit-128s", 32, (8, 16), (32, 48, 64),
+                              (1, 1, 1), (2, 3, 4), (4, 8), 10, qk_dim=8, v_dim=16),
+    "levit-128": LeViTConfig("levit-128", 32, (8, 16), (32, 48, 64),
+                             (2, 2, 2), (2, 4, 6), (4, 8), 10, qk_dim=8, v_dim=16),
+}
+
+LEVIT_CONFIGS = {"paper": _PAPER_CONFIGS, "trainable": _TRAINABLE_CONFIGS}
+
+
+class LeViT(nn.Module):
+    """LeViT backbone + classification head."""
+
+    def __init__(self, config: LeViTConfig,
+                 attention_factory: AttentionFactory | None = None,
+                 capture_qkv: bool = False):
+        super().__init__()
+        del capture_qkv  # LeViT attention handles its own projections; capture unsupported.
+        self.config = config
+        factory = attention_factory or SoftmaxAttention
+
+        # Convolutional stem: one stride-2 conv per listed channel width.
+        stem_layers: list[nn.Module] = []
+        in_channels = 3
+        for channels in config.stem_channels:
+            stem_layers.append(nn.Conv2d(in_channels, channels, 3, stride=2, padding=1, bias=False))
+            stem_layers.append(nn.BatchNorm2d(channels))
+            stem_layers.append(nn.Hardswish())
+            in_channels = channels
+        self.stem = nn.Sequential(*stem_layers)
+        self.stem_out_channels = in_channels
+        self.grid_size = config.image_size // (2 ** len(config.stem_channels))
+        self.embed = nn.Linear(in_channels, config.stage_dims[0])
+
+        def _stage(dim: int, depth: int, heads: int) -> nn.ModuleList:
+            return nn.ModuleList([
+                LeViTBlock(dim, heads, qk_dim=config.qk_dim, v_dim=config.v_dim,
+                           attention=factory())
+                for _ in range(depth)
+            ])
+
+        self.stage1 = _stage(config.stage_dims[0], config.stage_depths[0], config.stage_heads[0])
+        self.downsample1 = LeViTDownsample(config.stage_dims[0], config.stage_dims[1],
+                                           config.downsample_heads[0], self.grid_size,
+                                           qk_dim=config.qk_dim, v_dim=config.v_dim,
+                                           attention=factory())
+        self.stage2 = _stage(config.stage_dims[1], config.stage_depths[1], config.stage_heads[1])
+        self.downsample2 = LeViTDownsample(config.stage_dims[1], config.stage_dims[2],
+                                           config.downsample_heads[1], self.downsample1.out_grid,
+                                           qk_dim=config.qk_dim, v_dim=config.v_dim,
+                                           attention=factory())
+        self.stage3 = _stage(config.stage_dims[2], config.stage_depths[2], config.stage_heads[2])
+
+        self.head = nn.Linear(config.stage_dims[2], config.num_classes)
+        self.num_classes = config.num_classes
+        self.distillation = False
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = self.stem(images)
+        batch, channels, height, width = x.shape
+        tokens = x.reshape(batch, channels, height * width).transpose((0, 2, 1))
+        tokens = self.embed(tokens)
+        for block in self.stage1:
+            tokens = block(tokens)
+        tokens = self.downsample1(tokens)
+        for block in self.stage2:
+            tokens = block(tokens)
+        tokens = self.downsample2(tokens)
+        for block in self.stage3:
+            tokens = block(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)
+
+    def attention_modules(self):
+        """All pluggable attention mechanisms across stages and downsamplers."""
+
+        modules = []
+        for stage in (self.stage1, self.stage2, self.stage3):
+            for block in stage:
+                modules.append(block.attention.attention)
+        modules.append(self.downsample1.attention.attention)
+        modules.append(self.downsample2.attention.attention)
+        return modules
+
+
+def create_levit(name: str, preset: str = "trainable",
+                 attention_factory: AttentionFactory | None = None,
+                 num_classes: int | None = None,
+                 capture_qkv: bool = False) -> LeViT:
+    """Instantiate a LeViT model (``levit-128s`` or ``levit-128``)."""
+
+    try:
+        config = LEVIT_CONFIGS[preset][name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LeViT config ({name!r}, preset={preset!r}); "
+            f"available: {sorted(_PAPER_CONFIGS)} with presets {sorted(LEVIT_CONFIGS)}"
+        ) from None
+    if num_classes is not None:
+        from dataclasses import replace
+        config = replace(config, num_classes=num_classes)
+    return LeViT(config, attention_factory=attention_factory, capture_qkv=capture_qkv)

@@ -1,0 +1,218 @@
+"""MobileViT model family (Mehta & Rastegari) — the lightweight hybrid ViTs.
+
+MobileViT interleaves MobileNetV2-style inverted-residual convolutions with
+MobileViT blocks that unfold the feature map into patch tokens, run a small
+Transformer over them, fold back, and fuse with the convolutional features.
+The Transformer inside each MobileViT block uses the same pluggable attention
+interface as the rest of the model zoo, so the BASELINE / LOWRANK / SPARSE /
+ViTALiTy method variants apply to MobileViT unchanged.
+
+The reproduction keeps the block structure faithful (stem, MV2 stages, three
+MobileViT blocks with 2/4/3 transformer layers) while exposing a reduced
+"trainable" preset whose channel widths and input resolution fit the numpy
+training budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import nn
+from repro.models.vit import AttentionFactory, TransformerBlock
+from repro.tensor import Tensor
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 inverted-residual block: expand -> depthwise -> project."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expansion: int = 2):
+        super().__init__()
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = nn.Conv2d(in_channels, hidden, 1, bias=False)
+        self.expand_norm = nn.BatchNorm2d(hidden)
+        self.depthwise = nn.DepthwiseConv2d(hidden, 3, stride=stride, padding=1, bias=False)
+        self.depthwise_norm = nn.BatchNorm2d(hidden)
+        self.project = nn.Conv2d(hidden, out_channels, 1, bias=False)
+        self.project_norm = nn.BatchNorm2d(out_channels)
+        self.activation = nn.SiLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.activation(self.expand_norm(self.expand(x)))
+        out = self.activation(self.depthwise_norm(self.depthwise(out)))
+        out = self.project_norm(self.project(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileViTBlock(nn.Module):
+    """Local conv + unfold -> Transformer -> fold + fuse (the MobileViT block)."""
+
+    def __init__(self, channels: int, transformer_dim: int, depth: int, num_heads: int,
+                 patch_size: int = 2, mlp_ratio: float = 2.0,
+                 attention_factory: AttentionFactory | None = None,
+                 capture_qkv: bool = False):
+        super().__init__()
+        self.patch_size = patch_size
+        self.transformer_dim = transformer_dim
+        self.local_conv = nn.Conv2d(channels, channels, 3, padding=1, bias=False)
+        self.local_norm = nn.BatchNorm2d(channels)
+        self.local_proj = nn.Conv2d(channels, transformer_dim, 1, bias=False)
+        self.transformer = nn.ModuleList([
+            TransformerBlock(transformer_dim, num_heads, mlp_ratio=mlp_ratio,
+                             attention=attention_factory() if attention_factory else None,
+                             capture_qkv=capture_qkv)
+            for _ in range(depth)
+        ])
+        self.transformer_norm = nn.LayerNorm(transformer_dim)
+        self.out_proj = nn.Conv2d(transformer_dim, channels, 1, bias=False)
+        self.fuse = nn.Conv2d(2 * channels, channels, 3, padding=1, bias=False)
+        self.fuse_norm = nn.BatchNorm2d(channels)
+        self.activation = nn.SiLU()
+
+    def _unfold(self, x: Tensor) -> tuple[Tensor, tuple[int, int, int, int]]:
+        """Rearrange (N, C, H, W) into (N * p^2, H*W / p^2, C) token sequences.
+
+        Each of the ``p^2`` intra-patch pixel positions becomes an independent
+        sequence (folded into the batch dimension), exactly as MobileViT's
+        unfold does.
+        """
+
+        batch, channels, height, width = x.shape
+        p = self.patch_size
+        if height % p or width % p:
+            raise ValueError(f"spatial dims {(height, width)} not divisible by patch size {p}")
+        grid_h, grid_w = height // p, width // p
+        tokens = x.reshape(batch, channels, grid_h, p, grid_w, p)
+        tokens = tokens.transpose((0, 3, 5, 2, 4, 1))          # (N, p, p, gh, gw, C)
+        tokens = tokens.reshape(batch * p * p, grid_h * grid_w, channels)
+        return tokens, (batch, channels, grid_h, grid_w)
+
+    def _fold(self, tokens: Tensor, info: tuple[int, int, int, int]) -> Tensor:
+        batch, channels, grid_h, grid_w = info
+        p = self.patch_size
+        x = tokens.reshape(batch, p, p, grid_h, grid_w, channels)
+        x = x.transpose((0, 5, 3, 1, 4, 2))                    # (N, C, gh, p, gw, p)
+        return x.reshape(batch, channels, grid_h * p, grid_w * p)
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = x
+        local = self.activation(self.local_norm(self.local_conv(x)))
+        local = self.local_proj(local)
+        tokens, info = self._unfold(local)
+        for block in self.transformer:
+            tokens = block(tokens)
+        tokens = self.transformer_norm(tokens)
+        folded = self._fold(tokens, (info[0], self.transformer_dim, info[2], info[3]))
+        folded = self.out_proj(folded)
+        fused = Tensor.concat([residual, folded], axis=1)
+        return self.activation(self.fuse_norm(self.fuse(fused)))
+
+
+@dataclass(frozen=True)
+class MobileViTConfig:
+    """Geometry of one MobileViT variant."""
+
+    name: str
+    image_size: int
+    stem_channels: int
+    stage_channels: tuple[int, int, int]
+    transformer_dims: tuple[int, int, int]
+    transformer_depths: tuple[int, int, int]
+    num_heads: int
+    num_classes: int
+    expansion: int = 2
+
+
+_PAPER_CONFIGS = {
+    "mobilevit-xxs": MobileViTConfig("mobilevit-xxs", 256, 16, (24, 48, 64),
+                                     (64, 80, 96), (2, 4, 3), 4, 1000),
+    "mobilevit-xs": MobileViTConfig("mobilevit-xs", 256, 16, (48, 64, 80),
+                                    (96, 120, 144), (2, 4, 3), 4, 1000),
+}
+
+_TRAINABLE_CONFIGS = {
+    "mobilevit-xxs": MobileViTConfig("mobilevit-xxs", 32, 8, (8, 16, 24),
+                                     (32, 40, 48), (2, 2, 2), 4, 10),
+    "mobilevit-xs": MobileViTConfig("mobilevit-xs", 32, 8, (16, 24, 32),
+                                    (48, 64, 80), (2, 2, 2), 4, 10),
+}
+
+MOBILEVIT_CONFIGS = {"paper": _PAPER_CONFIGS, "trainable": _TRAINABLE_CONFIGS}
+
+
+class MobileViT(nn.Module):
+    """MobileViT backbone + classification head."""
+
+    def __init__(self, config: MobileViTConfig,
+                 attention_factory: AttentionFactory | None = None,
+                 capture_qkv: bool = False):
+        super().__init__()
+        self.config = config
+        channels = config.stage_channels
+        self.stem = nn.Conv2d(3, config.stem_channels, 3, stride=2, padding=1, bias=False)
+        self.stem_norm = nn.BatchNorm2d(config.stem_channels)
+        self.activation = nn.SiLU()
+
+        # Three stages, each: an inverted-residual downsampling block followed
+        # by a MobileViT block running the Transformer on the unfolded tokens.
+        self.downsample1 = InvertedResidual(config.stem_channels, channels[0], stride=2,
+                                            expansion=config.expansion)
+        self.block1 = MobileViTBlock(channels[0], config.transformer_dims[0],
+                                     config.transformer_depths[0], config.num_heads,
+                                     attention_factory=attention_factory,
+                                     capture_qkv=capture_qkv)
+        self.downsample2 = InvertedResidual(channels[0], channels[1], stride=2,
+                                            expansion=config.expansion)
+        self.block2 = MobileViTBlock(channels[1], config.transformer_dims[1],
+                                     config.transformer_depths[1], config.num_heads,
+                                     attention_factory=attention_factory,
+                                     capture_qkv=capture_qkv)
+        self.downsample3 = InvertedResidual(channels[1], channels[2], stride=2,
+                                            expansion=config.expansion)
+        self.block3 = MobileViTBlock(channels[2], config.transformer_dims[2],
+                                     config.transformer_depths[2], config.num_heads,
+                                     attention_factory=attention_factory,
+                                     capture_qkv=capture_qkv)
+
+        self.pool = nn.GlobalAvgPool2d()
+        self.head = nn.Linear(channels[2], config.num_classes)
+        self.num_classes = config.num_classes
+        self.distillation = False
+
+    def forward(self, images: Tensor) -> Tensor:
+        x = self.activation(self.stem_norm(self.stem(images)))
+        x = self.block1(self.downsample1(x))
+        x = self.block2(self.downsample2(x))
+        x = self.block3(self.downsample3(x))
+        return self.head(self.pool(x))
+
+    def attention_modules(self):
+        """All attention mechanisms across the three MobileViT blocks."""
+
+        modules = []
+        for block in (self.block1, self.block2, self.block3):
+            for transformer_block in block.transformer:
+                modules.append(transformer_block.mha.attention)
+        return modules
+
+
+def create_mobilevit(name: str, preset: str = "trainable",
+                     attention_factory: AttentionFactory | None = None,
+                     num_classes: int | None = None,
+                     capture_qkv: bool = False) -> MobileViT:
+    """Instantiate a MobileViT model (``mobilevit-xxs`` or ``mobilevit-xs``)."""
+
+    try:
+        config = MOBILEVIT_CONFIGS[preset][name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MobileViT config ({name!r}, preset={preset!r}); "
+            f"available: {sorted(_PAPER_CONFIGS)} with presets {sorted(MOBILEVIT_CONFIGS)}"
+        ) from None
+    if num_classes is not None:
+        from dataclasses import replace
+        config = replace(config, num_classes=num_classes)
+    return MobileViT(config, attention_factory=attention_factory, capture_qkv=capture_qkv)

@@ -1,0 +1,146 @@
+"""Model and attention-mode registry.
+
+The experiments refer to method variants by name (BASELINE / SPARSE /
+LOWRANK / VITALITY plus the linear-attention baselines); this module maps
+those names onto attention factories and builds any model of the zoo with any
+method, which is the cross product the paper's evaluation sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.attention import (
+    EfficientAttention,
+    LinearTransformerAttention,
+    PerformerAttention,
+    SangerSparseAttention,
+    SoftmaxAttention,
+    TaylorAttention,
+    ViTALiTyAttention,
+)
+from repro.attention.base import AttentionModule
+from repro.models.deit import DEIT_CONFIGS, create_deit
+from repro.models.levit import LEVIT_CONFIGS, create_levit
+from repro.models.mobilevit import MOBILEVIT_CONFIGS, create_mobilevit
+
+#: Default Sanger sparsity thresholds from the paper: the SPARSE baseline uses
+#: T = 0.02 (Sanger's default) while ViTALiTy fine-tunes with T = 0.5.
+SPARSE_BASELINE_THRESHOLD = 0.02
+VITALITY_THRESHOLD = 0.5
+
+
+def make_attention(mode: str, *, head_dim: int | None = None,
+                   num_tokens: int | None = None,
+                   threshold: float | None = None) -> AttentionModule:
+    """Build one attention mechanism by method name.
+
+    Args:
+        mode: one of ``softmax``/``baseline``, ``sparse``, ``taylor``/``lowrank``,
+            ``vitality``, ``linear_transformer``, ``performer``, ``efficient``.
+        head_dim: required by ``performer`` (random-feature dimensionality).
+        num_tokens: required by ``linformer``.
+        threshold: overrides the default Sanger threshold for sparse modes.
+    """
+
+    mode = mode.lower()
+    if mode in ("softmax", "baseline", "vanilla"):
+        return SoftmaxAttention()
+    if mode in ("taylor", "lowrank", "low-rank"):
+        return TaylorAttention()
+    if mode in ("sparse", "sanger"):
+        return SangerSparseAttention(threshold=threshold if threshold is not None
+                                     else SPARSE_BASELINE_THRESHOLD)
+    if mode in ("vitality", "unified", "lowrank+sparse"):
+        return ViTALiTyAttention(threshold=threshold if threshold is not None
+                                 else VITALITY_THRESHOLD)
+    if mode in ("linear_transformer", "linear-transformer"):
+        return LinearTransformerAttention()
+    if mode == "performer":
+        if head_dim is None:
+            raise ValueError("performer attention requires head_dim")
+        return PerformerAttention(head_dim=head_dim)
+    if mode == "efficient":
+        return EfficientAttention()
+    if mode == "linformer":
+        from repro.attention import LinformerAttention
+
+        if num_tokens is None:
+            raise ValueError("linformer attention requires num_tokens")
+        return LinformerAttention(num_tokens=num_tokens, projection_dim=max(1, num_tokens // 4))
+    raise ValueError(f"unknown attention mode {mode!r}")
+
+
+def available_attention_modes() -> list[str]:
+    """Attention-mode names accepted by :func:`make_attention`."""
+
+    return [
+        "softmax",
+        "taylor",
+        "sparse",
+        "vitality",
+        "linear_transformer",
+        "performer",
+        "efficient",
+        "linformer",
+    ]
+
+
+def available_models() -> list[str]:
+    """Model names accepted by :func:`create_model`, in the paper's order."""
+
+    return [
+        "deit-tiny",
+        "deit-small",
+        "deit-base",
+        "mobilevit-xxs",
+        "mobilevit-xs",
+        "levit-128s",
+        "levit-128",
+    ]
+
+
+def _attention_factory(mode: str, head_dim: int, num_tokens: int,
+                       threshold: float | None) -> Callable[[], AttentionModule]:
+    def factory() -> AttentionModule:
+        return make_attention(mode, head_dim=head_dim, num_tokens=num_tokens,
+                              threshold=threshold)
+
+    return factory
+
+
+def create_model(name: str, attention_mode: str = "softmax", preset: str = "trainable",
+                 num_classes: int | None = None, threshold: float | None = None,
+                 capture_qkv: bool = False):
+    """Build any model of the zoo with any attention method.
+
+    Args:
+        name: a model name from :func:`available_models`.
+        attention_mode: a method name from :func:`available_attention_modes`.
+        preset: ``"paper"`` (full geometry) or ``"trainable"`` (reduced).
+        num_classes: optional override of the head width.
+        threshold: optional Sanger threshold override for sparse modes.
+    """
+
+    name = name.lower()
+    if name in DEIT_CONFIGS[preset]:
+        config = DEIT_CONFIGS[preset][name]
+        head_dim = config.embed_dim // config.num_heads
+        tokens = config.num_patches + (2 if config.distillation else 1)
+        factory = _attention_factory(attention_mode, head_dim, tokens, threshold)
+        return create_deit(name, preset=preset, attention_factory=factory,
+                           num_classes=num_classes, capture_qkv=capture_qkv)
+    if name in MOBILEVIT_CONFIGS[preset]:
+        config = MOBILEVIT_CONFIGS[preset][name]
+        head_dim = config.transformer_dims[0] // config.num_heads
+        tokens = (config.image_size // 8 // 2) ** 2
+        factory = _attention_factory(attention_mode, head_dim, tokens, threshold)
+        return create_mobilevit(name, preset=preset, attention_factory=factory,
+                                num_classes=num_classes, capture_qkv=capture_qkv)
+    if name in LEVIT_CONFIGS[preset]:
+        config = LEVIT_CONFIGS[preset][name]
+        grid = config.image_size // (2 ** len(config.stem_channels))
+        factory = _attention_factory(attention_mode, config.qk_dim, grid * grid, threshold)
+        return create_levit(name, preset=preset, attention_factory=factory,
+                            num_classes=num_classes, capture_qkv=capture_qkv)
+    raise KeyError(f"unknown model {name!r}; available: {available_models()}")

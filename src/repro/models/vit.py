@@ -1,0 +1,204 @@
+"""Generic Vision Transformer building blocks.
+
+The blocks follow the standard pre-norm ViT layout (Fig. 2 of the paper):
+each Transformer layer is a multi-head attention (MHA) module followed by an
+MLP module, both wrapped with layer norm and residual connections.  The MHA
+module is parameterised by an :class:`~repro.attention.base.AttentionModule`
+so that the same model skeleton realises the BASELINE, LOWRANK, SPARSE and
+ViTALiTy method variants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro import nn
+from repro.attention.base import AttentionModule
+from repro.attention.softmax_attention import SoftmaxAttention
+from repro.tensor import Tensor
+
+AttentionFactory = Callable[[], AttentionModule]
+
+
+class MultiHeadAttention(nn.Module):
+    """Multi-head attention with a pluggable attention mechanism.
+
+    Computes the Step-1 projections (Q, K, V), reshapes the tokens into
+    ``(batch, heads, tokens, head_dim)``, delegates Steps 2–3 to the attached
+    attention mechanism, and applies the output projection.
+
+    When ``capture_qkv`` is enabled the most recent per-head query/key/value
+    arrays are stored on the module (as plain numpy arrays), which is how the
+    Fig. 3 distribution analysis extracts layer-wise similarity inputs.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int,
+                 attention: AttentionModule | None = None,
+                 qkv_bias: bool = True, dropout: float = 0.0,
+                 capture_qkv: bool = False):
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.attention = attention if attention is not None else SoftmaxAttention()
+        self.qkv = nn.Linear(embed_dim, 3 * embed_dim, bias=qkv_bias)
+        self.projection = nn.Linear(embed_dim, embed_dim)
+        self.dropout = nn.Dropout(dropout)
+        self.capture_qkv = capture_qkv
+        self.captured_q: np.ndarray | None = None
+        self.captured_k: np.ndarray | None = None
+        self.captured_v: np.ndarray | None = None
+
+    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        return x.transpose((0, 2, 1, 3)).reshape(batch, tokens, self.embed_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        batch, tokens, _ = x.shape
+        qkv = self.qkv(x)
+        q = self._split_heads(qkv[:, :, : self.embed_dim], batch, tokens)
+        k = self._split_heads(qkv[:, :, self.embed_dim: 2 * self.embed_dim], batch, tokens)
+        v = self._split_heads(qkv[:, :, 2 * self.embed_dim:], batch, tokens)
+        if self.capture_qkv:
+            self.captured_q = q.data.copy()
+            self.captured_k = k.data.copy()
+            self.captured_v = v.data.copy()
+        scores = self.attention(q, k, v)
+        merged = self._merge_heads(scores, batch, tokens)
+        return self.dropout(self.projection(merged))
+
+
+class FeedForward(nn.Module):
+    """The Transformer MLP module: Linear -> GELU -> Linear with dropout."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, dropout: float = 0.0):
+        super().__init__()
+        self.fc1 = nn.Linear(embed_dim, hidden_dim)
+        self.activation = nn.GELU()
+        self.fc2 = nn.Linear(hidden_dim, embed_dim)
+        self.dropout = nn.Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc2(self.activation(self.fc1(x))))
+
+
+class TransformerBlock(nn.Module):
+    """Pre-norm Transformer encoder layer: MHA module + MLP module."""
+
+    def __init__(self, embed_dim: int, num_heads: int, mlp_ratio: float = 4.0,
+                 attention: AttentionModule | None = None, dropout: float = 0.0,
+                 capture_qkv: bool = False):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(embed_dim)
+        self.mha = MultiHeadAttention(embed_dim, num_heads, attention=attention,
+                                      dropout=dropout, capture_qkv=capture_qkv)
+        self.norm2 = nn.LayerNorm(embed_dim)
+        self.mlp = FeedForward(embed_dim, int(embed_dim * mlp_ratio), dropout=dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.mha(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class VisionTransformer(nn.Module):
+    """A plain ViT/DeiT encoder over image patches.
+
+    Args:
+        image_size / patch_size / in_channels: patchification geometry.
+        embed_dim / depth / num_heads / mlp_ratio: encoder geometry.
+        num_classes: classification head width.
+        attention_factory: callable producing one attention mechanism per
+            layer (each layer owns its instance so per-layer statistics such
+            as sparse-mask density remain separable).
+        distillation: if ``True`` a DeiT-style distillation token and a second
+            head are added; :meth:`forward` then returns the averaged logits
+            while :meth:`forward_with_distillation` exposes both heads.
+    """
+
+    def __init__(self, image_size: int, patch_size: int, in_channels: int,
+                 embed_dim: int, depth: int, num_heads: int, num_classes: int,
+                 mlp_ratio: float = 4.0, dropout: float = 0.0,
+                 attention_factory: AttentionFactory | None = None,
+                 distillation: bool = False, capture_qkv: bool = False):
+        super().__init__()
+        attention_factory = attention_factory or SoftmaxAttention
+        self.patch_embed = nn.PatchEmbedding(image_size, patch_size, in_channels, embed_dim)
+        self.class_token = nn.ClassToken(embed_dim, with_distillation_token=distillation)
+        num_tokens = self.patch_embed.num_patches + self.class_token.num_extra_tokens
+        self.positional = nn.PositionalEmbedding(num_tokens, embed_dim)
+        self.dropout = nn.Dropout(dropout)
+        self.blocks = nn.ModuleList([
+            TransformerBlock(embed_dim, num_heads, mlp_ratio=mlp_ratio,
+                             attention=attention_factory(), dropout=dropout,
+                             capture_qkv=capture_qkv)
+            for _ in range(depth)
+        ])
+        self.norm = nn.LayerNorm(embed_dim)
+        self.head = nn.Linear(embed_dim, num_classes)
+        self.head_distillation = nn.Linear(embed_dim, num_classes) if distillation else None
+        self.embed_dim = embed_dim
+        self.depth = depth
+        self.num_heads = num_heads
+        self.num_classes = num_classes
+        self.distillation = distillation
+
+    # -- helpers -----------------------------------------------------------------
+
+    def encode(self, images: Tensor) -> Tensor:
+        """Run the encoder and return the normalised token sequence."""
+
+        tokens = self.patch_embed(images)
+        tokens = self.class_token(tokens)
+        tokens = self.dropout(self.positional(tokens))
+        for block in self.blocks:
+            tokens = block(tokens)
+        return self.norm(tokens)
+
+    def forward_with_distillation(self, images: Tensor) -> tuple[Tensor, Tensor]:
+        """Return (class-head logits, distillation-head logits)."""
+
+        if not self.distillation:
+            raise RuntimeError("model was not built with a distillation token")
+        tokens = self.encode(images)
+        class_logits = self.head(tokens[:, 0])
+        distillation_logits = self.head_distillation(tokens[:, 1])
+        return class_logits, distillation_logits
+
+    def forward(self, images: Tensor) -> Tensor:
+        tokens = self.encode(images)
+        class_logits = self.head(tokens[:, 0])
+        if not self.distillation:
+            return class_logits
+        distillation_logits = self.head_distillation(tokens[:, 1])
+        return (class_logits + distillation_logits) * 0.5
+
+    # -- introspection ---------------------------------------------------------------
+
+    def attention_modules(self) -> list[AttentionModule]:
+        """The per-layer attention mechanisms, in depth order."""
+
+        return [block.mha.attention for block in self.blocks]
+
+    def set_capture_qkv(self, enabled: bool) -> None:
+        for block in self.blocks:
+            block.mha.capture_qkv = enabled
+
+    def captured_qkv(self) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Per-layer captured (Q, K, V) arrays from the most recent forward pass."""
+
+        queries, keys, values = [], [], []
+        for block in self.blocks:
+            if block.mha.captured_q is None:
+                raise RuntimeError("no captured Q/K/V; enable capture_qkv and run a forward pass")
+            queries.append(block.mha.captured_q)
+            keys.append(block.mha.captured_k)
+            values.append(block.mha.captured_v)
+        return queries, keys, values

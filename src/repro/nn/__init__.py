@@ -1,0 +1,44 @@
+"""Neural-network modules built on the ``repro.tensor`` autograd engine.
+
+The module hierarchy mirrors the subset of ``torch.nn`` needed to express the
+ViT model zoo evaluated in the ViTALiTy paper (DeiT, MobileViT, LeViT): dense
+layers, layer/batch normalisation, convolutions (for the hybrid models' stems
+and MobileNet blocks), activations, dropout, and patch embeddings.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear, Identity
+from repro.nn.norm import LayerNorm, BatchNorm2d
+from repro.nn.activation import GELU, ReLU, SiLU, Hardswish, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.embedding import PatchEmbedding, PositionalEmbedding, ClassToken
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Identity",
+    "LayerNorm",
+    "BatchNorm2d",
+    "GELU",
+    "ReLU",
+    "SiLU",
+    "Hardswish",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "MaxPool2d",
+    "PatchEmbedding",
+    "PositionalEmbedding",
+    "ClassToken",
+    "init",
+]

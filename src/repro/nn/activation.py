@@ -1,0 +1,42 @@
+"""Activation modules wrapping the functional implementations."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class GELU(Module):
+    """Gaussian error linear unit — the MLP activation in ViT/DeiT."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class SiLU(Module):
+    """SiLU / swish, used inside MobileViT's inverted-residual blocks."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+
+class Hardswish(Module):
+    """Hard-swish, used in LeViT's convolutional stem."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardswish(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)

@@ -1,0 +1,173 @@
+"""2-D convolutions implemented via im2col on the autograd engine.
+
+MobileViT and LeViT — two of the three model families evaluated in the paper —
+are hybrid architectures whose stems and local-processing blocks are
+convolutional, so the reproduction needs real (differentiable) convolutions.
+The implementation lowers each convolution to an im2col matrix multiply and
+registers a custom backward closure that performs the matching col2im
+scatter, keeping the hot loop fully vectorised in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int], padding: tuple[int, int]):
+    """Rearrange (N, C, H, W) into (N, C*kh*kw, out_h*out_w) patch columns."""
+
+    batch, channels, height, width = x.shape
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+
+    padded = np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    cols = np.empty((batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_end = i + stride_h * out_h
+        for j in range(kernel_w):
+            j_end = j + stride_w * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:stride_h, j:j_end:stride_w]
+    return cols.reshape(batch, channels * kernel_h * kernel_w, out_h * out_w), (out_h, out_w)
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple[int, ...], kernel: tuple[int, int],
+            stride: tuple[int, int], padding: tuple[int, int]) -> np.ndarray:
+    """Scatter-add (N, C*kh*kw, out_h*out_w) columns back into an image gradient."""
+
+    batch, channels, height, width = x_shape
+    kernel_h, kernel_w = kernel
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+
+    cols = cols.reshape(batch, channels, kernel_h, kernel_w, out_h, out_w)
+    padded = np.zeros((batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_end = i + stride_h * out_h
+        for j in range(kernel_w):
+            j_end = j + stride_w * out_w
+            padded[:, :, i:i_end:stride_h, j:j_end:stride_w] += cols[:, :, i, j, :, :]
+    if pad_h == 0 and pad_w == 0:
+        return padded
+    return padded[:, :, pad_h:pad_h + height, pad_w:pad_w + width]
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride=1, padding=0, groups: int = 1) -> Tensor:
+    """Differentiable 2-D convolution.
+
+    ``x`` has shape (N, C_in, H, W) and ``weight`` has shape
+    (C_out, C_in // groups, kh, kw).
+    """
+
+    x = Tensor._ensure(x)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    out_channels, in_per_group, kernel_h, kernel_w = weight.shape
+    kernel = (kernel_h, kernel_w)
+    batch, in_channels, _, _ = x.shape
+    if in_channels % groups or out_channels % groups:
+        raise ValueError("channels must be divisible by groups")
+    if in_channels // groups != in_per_group:
+        raise ValueError(
+            f"weight expects {in_per_group} input channels per group but input has "
+            f"{in_channels // groups}"
+        )
+
+    group_in = in_channels // groups
+    group_out = out_channels // groups
+
+    cols_per_group: list[np.ndarray] = []
+    outputs: list[np.ndarray] = []
+    out_hw: tuple[int, int] = (0, 0)
+    for g in range(groups):
+        x_group = x.data[:, g * group_in:(g + 1) * group_in]
+        cols, out_hw = _im2col(x_group, kernel, stride, padding)
+        cols_per_group.append(cols)
+        w_group = weight.data[g * group_out:(g + 1) * group_out].reshape(group_out, -1)
+        outputs.append(np.matmul(w_group, cols))
+    out_h, out_w = out_hw
+    out_data = np.concatenate(outputs, axis=1).reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+
+    def backward(grad, out):
+        grad = grad.reshape(batch, out_channels, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        grad_x_full = np.zeros_like(x.data) if x.requires_grad else None
+        grad_w_full = np.zeros_like(weight.data) if weight.requires_grad else None
+        for g in range(groups):
+            grad_group = grad[:, g * group_out:(g + 1) * group_out]
+            cols = cols_per_group[g]
+            if weight.requires_grad:
+                grad_w = np.einsum("nol,nkl->ok", grad_group, cols)
+                grad_w_full[g * group_out:(g + 1) * group_out] = grad_w.reshape(
+                    group_out, group_in, kernel_h, kernel_w
+                )
+            if x.requires_grad:
+                w_group = weight.data[g * group_out:(g + 1) * group_out].reshape(group_out, -1)
+                grad_cols = np.einsum("ok,nol->nkl", w_group, grad_group)
+                grad_x_full[:, g * group_in:(g + 1) * group_in] = _col2im(
+                    grad_cols,
+                    (batch, group_in) + x.shape[2:],
+                    kernel,
+                    stride,
+                    padding,
+                )
+        if weight.requires_grad:
+            weight._accumulate(grad_w_full)
+        if x.requires_grad:
+            x._accumulate(grad_x_full)
+
+    return x._make(out_data, parents, backward)
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution layer."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size, stride=1,
+                 padding=0, groups: int = 1, bias: bool = True):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = groups
+        weight_shape = (out_channels, in_channels // groups) + self.kernel_size
+        self.weight = Parameter(init.kaiming_normal(weight_shape))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding, groups=self.groups)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups})"
+        )
+
+
+class DepthwiseConv2d(Conv2d):
+    """Depthwise convolution (groups == channels), used by MobileViT blocks."""
+
+    def __init__(self, channels: int, kernel_size, stride=1, padding=0, bias: bool = True):
+        super().__init__(channels, channels, kernel_size, stride=stride,
+                         padding=padding, groups=channels, bias=bias)

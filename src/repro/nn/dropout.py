@@ -1,0 +1,25 @@
+"""Dropout module with a per-instance RNG for reproducible training runs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+
+class Dropout(Module):
+    """Inverted dropout.  Acts as identity in eval mode or when rate is zero."""
+
+    def __init__(self, rate: float = 0.0, seed: int | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

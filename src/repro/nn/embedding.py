@@ -1,0 +1,96 @@
+"""Token-embedding layers: patch embedding, positional embedding, class token.
+
+The patch embedding follows the ViT formulation: the input image is split
+into non-overlapping ``patch_size`` x ``patch_size`` patches, each flattened
+and linearly projected to the embedding dimension.  DeiT additionally
+prepends a class token and (optionally) a distillation token; both are
+implemented by :class:`ClassToken`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class PatchEmbedding(Module):
+    """Split an image into patches and project each patch to ``embed_dim``."""
+
+    def __init__(self, image_size: int, patch_size: int, in_channels: int, embed_dim: int):
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(f"image size {image_size} not divisible by patch size {patch_size}")
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.embed_dim = embed_dim
+        self.num_patches = (image_size // patch_size) ** 2
+        patch_dim = in_channels * patch_size * patch_size
+        self.projection = Parameter(init.truncated_normal((patch_dim, embed_dim)))
+        self.bias = Parameter(init.zeros((embed_dim,)))
+
+    def forward(self, images: Tensor) -> Tensor:
+        """Map (N, C, H, W) images to (N, num_patches, embed_dim) tokens."""
+
+        images = Tensor._ensure(images)
+        batch, channels, height, width = images.shape
+        if channels != self.in_channels or height != self.image_size or width != self.image_size:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_channels}, {self.image_size}, "
+                f"{self.image_size}), got {images.shape}"
+            )
+        p = self.patch_size
+        grid = self.image_size // p
+        # (N, C, gh, p, gw, p) -> (N, gh, gw, C, p, p) -> (N, num_patches, C*p*p)
+        patches = images.reshape(batch, channels, grid, p, grid, p)
+        patches = patches.transpose((0, 2, 4, 1, 3, 5))
+        patches = patches.reshape(batch, self.num_patches, channels * p * p)
+        return patches @ self.projection + self.bias
+
+
+class PositionalEmbedding(Module):
+    """Learned additive positional embedding over a fixed token count."""
+
+    def __init__(self, num_tokens: int, embed_dim: int):
+        super().__init__()
+        self.num_tokens = num_tokens
+        self.embed_dim = embed_dim
+        self.embedding = Parameter(init.truncated_normal((1, num_tokens, embed_dim)))
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        tokens = Tensor._ensure(tokens)
+        if tokens.shape[1] != self.num_tokens:
+            raise ValueError(
+                f"expected {self.num_tokens} tokens, got {tokens.shape[1]}"
+            )
+        return tokens + self.embedding
+
+
+class ClassToken(Module):
+    """Prepend learnable class (and optionally distillation) tokens to a sequence."""
+
+    def __init__(self, embed_dim: int, with_distillation_token: bool = False):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.with_distillation_token = with_distillation_token
+        self.class_token = Parameter(init.truncated_normal((1, 1, embed_dim)))
+        if with_distillation_token:
+            self.distillation_token = Parameter(init.truncated_normal((1, 1, embed_dim)))
+        else:
+            self.distillation_token = None
+
+    @property
+    def num_extra_tokens(self) -> int:
+        return 2 if self.with_distillation_token else 1
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        tokens = Tensor._ensure(tokens)
+        batch = tokens.shape[0]
+        broadcast = Tensor(np.ones((batch, 1, 1)))
+        prefix = [self.class_token * broadcast]
+        if self.distillation_token is not None:
+            prefix.append(self.distillation_token * broadcast)
+        return Tensor.concat(prefix + [tokens], axis=1)

@@ -1,0 +1,42 @@
+"""Dense (fully-connected) layers."""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W + b`` with ``W`` of shape (in, out).
+
+    The weight layout is (in_features, out_features) so that the forward pass
+    is a plain matmul on row-major token matrices, matching the Q/K/V
+    projection notation in the paper (``Q = X W_Q``).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.truncated_normal((in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = Tensor._ensure(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Identity(Module):
+    """A no-op module, useful as a drop-in placeholder (e.g. disabled heads)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor._ensure(x)

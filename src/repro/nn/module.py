@@ -1,0 +1,217 @@
+"""Base classes for neural-network modules.
+
+:class:`Module` provides parameter registration/traversal, train/eval mode
+switching, and a simple state-dict interface.  :class:`Parameter` is a
+:class:`~repro.tensor.Tensor` that requires gradients by default.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically, exactly as in PyTorch, so models can be written as plain
+    attribute assignments in ``__init__`` and a ``forward`` method.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute-based registration ------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is part of the module state."""
+
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # -- traversal ---------------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter of this module and its children."""
+
+        for _, parameter in self.named_parameters():
+            yield parameter
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants (depth-first)."""
+
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every module in the tree (self included)."""
+
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # -- mode switching -----------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradient helpers -----------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+
+        return sum(parameter.size for parameter in self.parameters())
+
+    # -- state dict -------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a flat mapping of parameter/buffer names to arrays (copies)."""
+
+        state: dict[str, np.ndarray] = {}
+        for name, parameter in self.named_parameters():
+            state[name] = parameter.data.copy()
+        for module_name, module in self.named_modules():
+            for buffer_name, buffer in module._buffers.items():
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                state[key] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` back into the module."""
+
+        parameters = dict(self.named_parameters())
+        buffer_owners: dict[str, tuple[Module, str]] = {}
+        for module_name, module in self.named_modules():
+            for buffer_name in module._buffers:
+                key = f"{module_name}.{buffer_name}" if module_name else buffer_name
+                buffer_owners[key] = (module, buffer_name)
+
+        for key, value in state.items():
+            if key in parameters:
+                target = parameters[key]
+                if target.data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for parameter {key!r}: "
+                        f"{target.data.shape} vs {value.shape}"
+                    )
+                target.data = np.asarray(value, dtype=np.float64).copy()
+            elif key in buffer_owners:
+                module, buffer_name = buffer_owners[key]
+                module.register_buffer(buffer_name, np.asarray(value).copy())
+            else:
+                raise KeyError(f"unexpected key in state dict: {key!r}")
+
+    # -- call protocol ------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"
+
+
+class Sequential(Module):
+    """A module that chains child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._ordered.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, f"layer{len(self._ordered)}", module)
+        self._ordered.append(module)
+        return self
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list container whose elements are registered sub-modules."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._ordered: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, f"item{len(self._ordered)}", module)
+        self._ordered.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,71 @@
+"""Normalisation layers: LayerNorm (ViT blocks) and BatchNorm2d (hybrid stems)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (token features)."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-6):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, C, H, W) activations.
+
+    Used by the convolutional stems of MobileViT and LeViT.  Running
+    statistics are tracked as buffers and used in eval mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centred = x - mean
+            variance = (centred * centred).mean(axis=(0, 2, 3), keepdims=True)
+            self._update_running_stats(mean.data.reshape(-1), variance.data.reshape(-1))
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            variance = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            centred = x - mean
+        normalised = centred / (variance + self.eps).sqrt()
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalised * scale + shift
+
+    def _update_running_stats(self, mean: np.ndarray, variance: np.ndarray) -> None:
+        updated_mean = (1.0 - self.momentum) * self.running_mean + self.momentum * mean
+        updated_var = (1.0 - self.momentum) * self.running_var + self.momentum * variance
+        self.register_buffer("running_mean", updated_mean)
+        self.register_buffer("running_var", updated_var)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"

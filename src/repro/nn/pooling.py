@@ -1,0 +1,52 @@
+"""Pooling layers for the hybrid (convolutional) ViT variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions of (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W), got shape {x.shape}")
+        return x.mean(axis=(2, 3))
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with a square window."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        if height % k or width % k:
+            raise ValueError(f"spatial size {(height, width)} not divisible by window {k}")
+        reshaped = x.reshape(batch, channels, height // k, k, width // k, k)
+        return reshaped.mean(axis=(3, 5))
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with a square window."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = Tensor._ensure(x)
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        if height % k or width % k:
+            raise ValueError(f"spatial size {(height, width)} not divisible by window {k}")
+        reshaped = x.reshape(batch, channels, height // k, k, width // k, k)
+        return reshaped.max(axis=5).max(axis=3)

@@ -1,0 +1,14 @@
+"""Optimizers and learning-rate schedules for fine-tuning the ViT model zoo."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.scheduler import CosineSchedule, WarmupCosineSchedule, ConstantSchedule
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "CosineSchedule",
+    "WarmupCosineSchedule",
+    "ConstantSchedule",
+]

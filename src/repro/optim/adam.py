@@ -1,0 +1,54 @@
+"""Adam / AdamW optimizers (the DeiT training recipe uses AdamW)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * parameter.data
+        return grad
+
+    def step(self) -> None:
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1 ** self.step_count
+        bias2 = 1.0 - self.beta2 ** self.step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = self._apply_weight_decay(parameter, parameter.grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            parameter.data = parameter.data * (1.0 - self.lr * self.weight_decay)
+        return grad

@@ -1,0 +1,65 @@
+"""Learning-rate schedules (cosine decay with warmup, as in the DeiT recipe)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.base import Optimizer
+
+
+class Schedule:
+    """Base class: adjusts ``optimizer.lr`` each time :meth:`step` is called."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(Schedule):
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class CosineSchedule(Schedule):
+    """Cosine decay from the base LR down to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupCosineSchedule(CosineSchedule):
+    """Linear warmup for ``warmup_epochs`` followed by cosine decay."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 warmup_epochs: int = 0, min_lr: float = 0.0):
+        super().__init__(optimizer, total_epochs, min_lr=min_lr)
+        if warmup_epochs < 0 or warmup_epochs >= total_epochs:
+            raise ValueError("warmup_epochs must be in [0, total_epochs)")
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        remaining = self.total_epochs - self.warmup_epochs
+        progress = min(epoch - self.warmup_epochs, remaining) / remaining
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

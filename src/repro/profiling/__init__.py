@@ -1,0 +1,17 @@
+"""Profiling utilities: runtime breakdowns (Fig. 1, Table II) and FLOPs (Table IV)."""
+
+from repro.profiling.breakdown import (
+    mha_runtime_breakdown_table,
+    attention_step_profile,
+    StepProfile,
+)
+from repro.profiling.flops import attention_flops, attention_flops_table, METHOD_FLOPS
+
+__all__ = [
+    "mha_runtime_breakdown_table",
+    "attention_step_profile",
+    "StepProfile",
+    "attention_flops",
+    "attention_flops_table",
+    "METHOD_FLOPS",
+]

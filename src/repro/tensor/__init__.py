@@ -1,0 +1,54 @@
+"""Minimal reverse-mode automatic differentiation engine over numpy.
+
+This subpackage is the training substrate for the ViTALiTy reproduction.  The
+paper trains and fine-tunes Vision Transformers in PyTorch; that framework is
+not available in this environment, so ``repro.tensor`` provides the same
+capability from scratch: a :class:`Tensor` that records a computation graph
+and back-propagates gradients through it, plus the functional building blocks
+(softmax, GELU, layer norm, cross entropy, ...) used by the model zoo in
+``repro.models``.
+
+The public surface intentionally mirrors a small slice of the PyTorch API so
+that the attention and model code reads naturally to anyone familiar with the
+original paper's implementation style.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.functional import (
+    softmax,
+    log_softmax,
+    cross_entropy,
+    gelu,
+    relu,
+    sigmoid,
+    silu,
+    tanh,
+    layer_norm,
+    dropout,
+    one_hot,
+    kl_div_with_logits,
+    mse_loss,
+    hardswish,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "gelu",
+    "relu",
+    "sigmoid",
+    "silu",
+    "tanh",
+    "layer_norm",
+    "dropout",
+    "one_hot",
+    "kl_div_with_logits",
+    "mse_loss",
+    "hardswish",
+]

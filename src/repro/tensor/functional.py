@@ -1,0 +1,153 @@
+"""Functional building blocks built on :class:`repro.tensor.Tensor`.
+
+These are the differentiable functions used by the neural-network modules and
+attention variants: numerically stable softmax / log-softmax, GELU (the ViT
+activation), layer normalisation, losses (cross entropy, KL for knowledge
+distillation), and dropout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, is_grad_enabled
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+
+    x = Tensor._ensure(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+
+    x = Tensor._ensure(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> Tensor:
+    """Encode integer ``labels`` as a one-hot float tensor."""
+
+    labels = np.asarray(labels, dtype=np.int64)
+    encoded = np.zeros((labels.size, num_classes), dtype=np.float64)
+    encoded[np.arange(labels.size), labels.reshape(-1)] = 1.0
+    return Tensor(encoded.reshape(labels.shape + (num_classes,)))
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``labels`` (N,)."""
+
+    logits = Tensor._ensure(logits)
+    num_classes = logits.shape[-1]
+    targets = one_hot(labels, num_classes)
+    if label_smoothing > 0.0:
+        smooth = label_smoothing / num_classes
+        targets = targets * (1.0 - label_smoothing) + smooth
+    log_probs = log_softmax(logits, axis=-1)
+    per_sample = -(targets * log_probs).sum(axis=-1)
+    return per_sample.mean()
+
+
+def kl_div_with_logits(student_logits: Tensor, teacher_logits: Tensor, temperature: float = 1.0) -> Tensor:
+    """KL(teacher || student) computed from raw logits.
+
+    This is the token-based knowledge-distillation loss used when fine-tuning
+    ViTALiTy models (Section V-B of the paper).  The teacher distribution is
+    treated as a constant (detached).
+    """
+
+    student_logits = Tensor._ensure(student_logits)
+    teacher_logits = Tensor._ensure(teacher_logits).detach()
+    student_log_probs = log_softmax(student_logits / temperature, axis=-1)
+    teacher_probs = softmax(teacher_logits / temperature, axis=-1)
+    teacher_log_probs = log_softmax(teacher_logits / temperature, axis=-1)
+    per_sample = (teacher_probs * (teacher_log_probs - student_log_probs)).sum(axis=-1)
+    return per_sample.mean() * (temperature ** 2)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+
+    prediction = Tensor._ensure(prediction)
+    target = Tensor._ensure(target).detach()
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (exact, erf-based), the ViT MLP activation."""
+
+    x = Tensor._ensure(x)
+    return x * 0.5 * ((x / np.sqrt(2.0)).erf() + 1.0)
+
+
+def relu(x: Tensor) -> Tensor:
+    return Tensor._ensure(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return Tensor._ensure(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return Tensor._ensure(x).tanh()
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation used by MobileViT's MobileNetV2 blocks."""
+
+    x = Tensor._ensure(x)
+    return x * x.sigmoid()
+
+
+def hardswish(x: Tensor) -> Tensor:
+    """Hard-swish activation used by LeViT's convolutional stem."""
+
+    x = Tensor._ensure(x)
+    return x * ((x + 3.0).clip(0.0, 6.0) / 6.0)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit, the kernel used by Linear Transformer."""
+
+    x = Tensor._ensure(x)
+    negative = (x.exp() - 1.0) * alpha
+    return x.where(x.data > 0.0, negative)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-6) -> Tensor:
+    """Layer normalisation over the last dimension."""
+
+    x = Tensor._ensure(x)
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout.  Identity when not training or ``rate`` is zero."""
+
+    if not training or rate <= 0.0:
+        return Tensor._ensure(x)
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    rng = rng or np.random.default_rng()
+    x = Tensor._ensure(x)
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` with ``weight`` of shape (in, out)."""
+
+    out = Tensor._ensure(x) @ weight
+    if bias is not None:
+        out = out + bias
+    return out

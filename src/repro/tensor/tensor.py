@@ -1,0 +1,560 @@
+"""Reverse-mode autograd tensor.
+
+The :class:`Tensor` wraps a ``numpy.ndarray`` and records, for every
+operation, a backward closure that accumulates gradients into its inputs.
+Calling :meth:`Tensor.backward` on a scalar result performs a topological
+sweep of the recorded graph.
+
+Only the operations needed by the ViT models and attention variants in this
+repository are implemented; the set is nevertheless broad enough (matmul,
+broadcasting arithmetic, reductions, slicing, reshaping, concatenation,
+element-wise transcendentals) to express every forward pass in the paper.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Global gradient-enabled switch (mirrors torch.no_grad()).
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will record gradient information."""
+
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording inside its block."""
+
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # so ndarray + Tensor dispatches to Tensor.__radd__
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- graph construction helpers ------------------------------------------
+
+    @staticmethod
+    def _ensure(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data - other.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._ensure(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(out_data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out_data = self.data ** exponent
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    # -- comparisons (no gradient) -------------------------------------------
+
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # -- linear algebra --------------------------------------------------------
+
+    def matmul(self, other) -> "Tensor":
+        """Batched matrix multiply with broadcasting over leading dims."""
+
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad, out):
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return self._ensure(other) @ self
+
+    # -- elementwise transcendentals ------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def erf(self) -> "Tensor":
+        from scipy.special import erf as _erf
+
+        out_data = _erf(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * 2.0 / np.sqrt(np.pi) * np.exp(-self.data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                mask = (self.data >= low) & (self.data <= high)
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def maximum(self, other) -> "Tensor":
+        """Element-wise maximum; gradient flows to the larger operand."""
+
+        other = self._ensure(other)
+        out_data = np.maximum(self.data, other.data)
+
+        def backward(grad, out):
+            self_wins = self.data >= other.data
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * self_wins, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * (~self_wins), other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    # -- reductions -------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad, out):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad)
+            if axis is None:
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+                return
+            if not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centred = self - self.mean(axis=axis, keepdims=True)
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad, out):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(grad)
+            if axis is None:
+                mask = self.data == self.data.max()
+                self._accumulate(grad * mask / mask.sum())
+                return
+            expanded_out = self.data.max(axis=axis, keepdims=True)
+            mask = self.data == expanded_out
+            counts = mask.sum(axis=axis, keepdims=True)
+            if not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accumulate(grad * mask / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- shape manipulation -------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Transpose.  Without arguments, swap the last two dimensions."""
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            if self.ndim < 2:
+                axes = tuple(range(self.ndim))
+            else:
+                axes = tuple(range(self.ndim - 2)) + (self.ndim - 1, self.ndim - 2)
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def permute(self, *axes) -> "Tensor":
+        return self.transpose(*axes)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad, out):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        return self.reshape(self.shape[:axis] + (1,) + self.shape[axis:])
+
+    def squeeze(self, axis: int) -> "Tensor":
+        if self.shape[axis] != 1:
+            raise ValueError(f"cannot squeeze axis {axis} of shape {self.shape}")
+        return self.reshape(self.shape[:axis] + self.shape[axis + 1 :])
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        result = Tensor(out_data)
+        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+            result.requires_grad = True
+            result._parents = tuple(tensors)
+
+            def backward(grad, out):
+                for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                    if not tensor.requires_grad:
+                        continue
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+            result._backward = backward
+        return result
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._ensure(t) for t in tensors]
+        expanded = [t.expand_dims(axis) for t in tensors]
+        return Tensor.concat(expanded, axis=axis)
+
+    def where(self, condition: np.ndarray, other) -> "Tensor":
+        """Return ``condition ? self : other`` (condition carries no grad)."""
+
+        other = self._ensure(other)
+        condition = np.asarray(condition, dtype=bool)
+        out_data = np.where(condition, self.data, other.data)
+
+        def backward(grad, out):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * condition, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * (~condition), other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # -- backward pass ---------------------------------------------------------
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        ordered: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(ordered):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad, node)

@@ -1,0 +1,33 @@
+"""Training stack: trainer, knowledge distillation and the ViTALiTy schemes.
+
+The paper's accuracy results (Figs. 10, 13, 14, 15) come from fine-tuning
+pre-trained ViTs under different method variants; this subpackage implements
+the training loop, token-based knowledge distillation, and a scheme runner
+that reproduces every variant (BASELINE / SPARSE / LOWRANK / LOWRANK+SPARSE /
+ViTALiTy, each optionally with KD) on the synthetic dataset.
+"""
+
+from repro.training.metrics import accuracy, top_k_accuracy, AverageMeter
+from repro.training.distillation import DistillationConfig, distillation_loss
+from repro.training.trainer import Trainer, TrainingConfig, EpochStats
+from repro.training.finetune import (
+    SchemeResult,
+    ViTALiTyFinetuner,
+    FinetuneConfig,
+    SCHEMES,
+)
+
+__all__ = [
+    "accuracy",
+    "top_k_accuracy",
+    "AverageMeter",
+    "DistillationConfig",
+    "distillation_loss",
+    "Trainer",
+    "TrainingConfig",
+    "EpochStats",
+    "SchemeResult",
+    "ViTALiTyFinetuner",
+    "FinetuneConfig",
+    "SCHEMES",
+]

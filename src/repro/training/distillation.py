@@ -1,0 +1,58 @@
+"""Token-based knowledge distillation (Section V-B of the paper).
+
+DeiT-style distillation: the student's distillation token (or, for models
+without one, its ordinary logits) is trained to match a frozen teacher — here
+the pre-trained softmax-attention baseline.  Both soft (KL at temperature
+``tau``) and hard (teacher argmax as pseudo-label) variants are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import Tensor, cross_entropy, kl_div_with_logits
+
+
+@dataclass(frozen=True)
+class DistillationConfig:
+    """Knowledge-distillation hyper-parameters."""
+
+    #: Weight of the distillation term relative to the classification loss.
+    alpha: float = 0.5
+    #: Softmax temperature for soft distillation.
+    temperature: float = 3.0
+    #: "soft" (KL against teacher distribution) or "hard" (teacher argmax labels).
+    kind: str = "soft"
+
+    def __post_init__(self):
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.kind not in ("soft", "hard"):
+            raise ValueError(f"kind must be 'soft' or 'hard', got {self.kind!r}")
+
+
+def distillation_loss(student_logits: Tensor, teacher_logits: Tensor,
+                      config: DistillationConfig) -> Tensor:
+    """The distillation term only (to be mixed with the classification loss)."""
+
+    if config.kind == "soft":
+        return kl_div_with_logits(student_logits, teacher_logits,
+                                  temperature=config.temperature)
+    teacher_labels = np.asarray(Tensor._ensure(teacher_logits).data).argmax(axis=-1)
+    return cross_entropy(student_logits, teacher_labels)
+
+
+def combined_loss(class_logits: Tensor, distillation_logits: Tensor,
+                  labels: np.ndarray, teacher_logits: Tensor | None,
+                  config: DistillationConfig | None) -> Tensor:
+    """Classification loss, mixed with the distillation term when a teacher is given."""
+
+    classification = cross_entropy(class_logits, labels)
+    if teacher_logits is None or config is None:
+        return classification
+    distillation = distillation_loss(distillation_logits, teacher_logits, config)
+    return classification * (1.0 - config.alpha) + distillation * config.alpha

@@ -1,0 +1,210 @@
+"""ViTALiTy fine-tuning schemes (the method variants of Figs. 10/13/14/15).
+
+The paper evaluates these method variants:
+
+* **BASELINE** — the pre-trained ViT with vanilla softmax attention.
+* **SPARSE** — Sanger sparse attention (threshold 0.02) fine-tuned end-to-end.
+* **LOWRANK** — linear Taylor attention dropped into the *pre-trained*
+  baseline with no fine-tuning (the accuracy-collapse data point).
+* **LOWRANK+SPARSE** — ViTALiTy's unified attention fine-tuned and evaluated
+  with the sparse component still active.
+* **VITALITY** — fine-tuned with the unified attention, but evaluated with
+  the sparse component dropped (only the low-rank Taylor path runs).
+* Each of the fine-tuned variants optionally adds token-based knowledge
+  distillation (**+KD**) from the baseline teacher.
+
+:class:`ViTALiTyFinetuner` pre-trains a baseline on the synthetic dataset
+(standing in for the ImageNet-pre-trained checkpoint), then runs any scheme
+and reports its accuracy, per-epoch history and sparse-component occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.attention import SangerSparseAttention, ViTALiTyAttention
+from repro.data import DataLoader, SyntheticConfig, SyntheticImageNet, normalize_images
+from repro.models import create_model
+from repro.nn.module import Module
+from repro.training.distillation import DistillationConfig
+from repro.training.trainer import EpochStats, Trainer, TrainingConfig
+
+#: Scheme identifiers accepted by :meth:`ViTALiTyFinetuner.run_scheme`.
+SCHEMES = (
+    "baseline",
+    "sparse",
+    "lowrank",
+    "lowrank+sparse",
+    "lowrank+sparse+kd",
+    "vitality",
+    "vitality+kd",
+)
+
+
+@dataclass(frozen=True)
+class FinetuneConfig:
+    """End-to-end configuration of a fine-tuning experiment."""
+
+    model_name: str = "deit-tiny"
+    preset: str = "trainable"
+    num_classes: int = 10
+    train_samples: int = 256
+    test_samples: int = 128
+    pretrain_epochs: int = 8
+    finetune_epochs: int = 6
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    finetune_learning_rate: float = 1e-3
+    sparse_threshold: float = 0.02
+    vitality_threshold: float = 0.5
+    seed: int = 0
+    data: SyntheticConfig = field(default_factory=SyntheticConfig)
+
+
+@dataclass
+class SchemeResult:
+    """Outcome of one training scheme."""
+
+    scheme: str
+    accuracy: float
+    history: list[EpochStats]
+    #: Per-epoch occupancy of the sparse residual component (Fig. 14); empty
+    #: for schemes without a sparse component.
+    sparse_occupancy_per_epoch: list[float] = field(default_factory=list)
+
+
+class ViTALiTyFinetuner:
+    """Runs the paper's training schemes on the synthetic dataset."""
+
+    def __init__(self, config: FinetuneConfig | None = None):
+        self.config = config or FinetuneConfig()
+        dataset = SyntheticImageNet(replace(self.config.data, seed=self.config.seed))
+        train_x, train_y, test_x, test_y = dataset.train_test_split(
+            self.config.train_samples, self.config.test_samples)
+        self._train = (normalize_images(train_x), train_y)
+        self._test = (normalize_images(test_x), test_y)
+        self._baseline_model: Module | None = None
+        self._baseline_accuracy: float | None = None
+
+    # -- data ---------------------------------------------------------------------
+
+    def _loader(self, split: tuple[np.ndarray, np.ndarray], shuffle: bool) -> DataLoader:
+        images, labels = split
+        return DataLoader(images, labels, batch_size=self.config.batch_size,
+                          shuffle=shuffle, seed=self.config.seed)
+
+    def train_loader(self) -> DataLoader:
+        return self._loader(self._train, shuffle=True)
+
+    def test_loader(self) -> DataLoader:
+        return self._loader(self._test, shuffle=False)
+
+    # -- models --------------------------------------------------------------------
+
+    def _build(self, attention_mode: str, threshold: float | None = None) -> Module:
+        return create_model(self.config.model_name, attention_mode=attention_mode,
+                            preset=self.config.preset, num_classes=self.config.num_classes,
+                            threshold=threshold)
+
+    def _transfer_weights(self, source: Module, target: Module) -> None:
+        """Copy the shared parameters from ``source`` into ``target``.
+
+        The attention mechanisms themselves are parameter-free, so models built
+        with different attention modes share the exact same parameter names;
+        buffers that only one side has (e.g. Performer random features) are
+        skipped.
+        """
+
+        source_state = source.state_dict()
+        target_state = target.state_dict()
+        shared = {key: value for key, value in source_state.items() if key in target_state}
+        target.load_state_dict({**target_state, **shared})
+
+    def pretrained_baseline(self) -> tuple[Module, float]:
+        """Train (once, lazily) and return the softmax-attention baseline model."""
+
+        if self._baseline_model is None:
+            model = self._build("softmax")
+            trainer = Trainer(model, TrainingConfig(
+                epochs=self.config.pretrain_epochs,
+                batch_size=self.config.batch_size,
+                learning_rate=self.config.learning_rate,
+                seed=self.config.seed,
+            ))
+            trainer.fit(self.train_loader(), eval_loader=None)
+            self._baseline_model = model
+            self._baseline_accuracy = trainer.evaluate(self.test_loader())
+        return self._baseline_model, float(self._baseline_accuracy)
+
+    # -- schemes --------------------------------------------------------------------
+
+    def _finetune(self, model: Module, use_kd: bool, epochs: int | None = None) -> Trainer:
+        teacher = None
+        distillation = None
+        if use_kd:
+            teacher, _ = self.pretrained_baseline()
+            distillation = DistillationConfig()
+        trainer = Trainer(model, TrainingConfig(
+            epochs=epochs if epochs is not None else self.config.finetune_epochs,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.finetune_learning_rate,
+            seed=self.config.seed,
+        ), teacher=teacher, distillation=distillation)
+        trainer.fit(self.train_loader(), eval_loader=None)
+        return trainer
+
+    def _set_sparse_eval(self, model: Module, enabled: bool) -> None:
+        for module in model.modules():
+            if isinstance(module, ViTALiTyAttention):
+                module.use_sparse_in_eval = enabled
+
+    def run_scheme(self, scheme: str, epochs: int | None = None,
+                   vitality_threshold: float | None = None) -> SchemeResult:
+        """Run one training scheme and report its test accuracy and history."""
+
+        scheme = scheme.lower()
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; available: {SCHEMES}")
+        threshold = (vitality_threshold if vitality_threshold is not None
+                     else self.config.vitality_threshold)
+        baseline, baseline_accuracy = self.pretrained_baseline()
+
+        if scheme == "baseline":
+            return SchemeResult("baseline", baseline_accuracy, history=[])
+
+        if scheme == "lowrank":
+            # Drop-in replacement of softmax with Taylor attention, no fine-tuning.
+            model = self._build("taylor")
+            self._transfer_weights(baseline, model)
+            trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=self.config.batch_size,
+                                                    learning_rate=self.config.finetune_learning_rate))
+            accuracy = trainer.evaluate(self.test_loader())
+            return SchemeResult("lowrank", accuracy, history=[])
+
+        if scheme == "sparse":
+            model = self._build("sparse", threshold=self.config.sparse_threshold)
+            self._transfer_weights(baseline, model)
+            trainer = self._finetune(model, use_kd=False, epochs=epochs)
+            accuracy = trainer.evaluate(self.test_loader())
+            return SchemeResult("sparse", accuracy, history=trainer.history)
+
+        # All remaining schemes fine-tune with the unified attention.
+        use_kd = scheme.endswith("+kd")
+        keep_sparse_at_eval = scheme.startswith("lowrank+sparse")
+        model = self._build("vitality", threshold=threshold)
+        self._transfer_weights(baseline, model)
+        trainer = self._finetune(model, use_kd=use_kd, epochs=epochs)
+
+        self._set_sparse_eval(model, keep_sparse_at_eval)
+        accuracy = trainer.evaluate(self.test_loader())
+        occupancy = [stats.sparse_occupancy for stats in trainer.history
+                     if stats.sparse_occupancy is not None]
+        return SchemeResult(scheme, accuracy, history=trainer.history,
+                            sparse_occupancy_per_epoch=occupancy)
+
+    def run_all(self, schemes: tuple[str, ...] = SCHEMES) -> dict[str, SchemeResult]:
+        """Run several schemes and return their results keyed by scheme name."""
+
+        return {scheme: self.run_scheme(scheme) for scheme in schemes}

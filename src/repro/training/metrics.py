@@ -1,0 +1,56 @@
+"""Classification metrics and running averages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def _as_logits_array(logits) -> np.ndarray:
+    if isinstance(logits, Tensor):
+        return logits.data
+    return np.asarray(logits)
+
+
+def accuracy(logits, labels) -> float:
+    """Top-1 accuracy in percent."""
+
+    logits = _as_logits_array(logits)
+    labels = np.asarray(labels)
+    predictions = logits.argmax(axis=-1)
+    return float(np.mean(predictions == labels) * 100.0)
+
+
+def top_k_accuracy(logits, labels, k: int = 5) -> float:
+    """Top-k accuracy in percent."""
+
+    logits = _as_logits_array(logits)
+    labels = np.asarray(labels)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, logits.shape[-1])
+    top_k = np.argsort(logits, axis=-1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=-1)
+    return float(np.mean(hits) * 100.0)
+
+
+class AverageMeter:
+    """Tracks a running (weighted) average of a scalar metric."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total = 0.0
+        self.weight = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        self.total += float(value) * weight
+        self.weight += weight
+
+    @property
+    def average(self) -> float:
+        return self.total / self.weight if self.weight else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0

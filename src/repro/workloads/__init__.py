@@ -1,0 +1,40 @@
+"""Model workload descriptions (attention geometry) for the evaluated ViTs.
+
+Every hardware- and complexity-side experiment in the paper (Table I, Table
+II, Fig. 11, Fig. 12, Table V) depends only on the *geometry* of the models'
+attention layers — number of tokens ``n``, per-head query/key dimension,
+per-head value dimension, head count and layer count — not on trained
+weights.  This subpackage is the single source of truth for those geometries
+so the op-counting code, the profiling models and the accelerator simulator
+all agree.
+"""
+
+from repro.workloads.specs import (
+    AttentionLayerSpec,
+    LinearLayerSpec,
+    ModelWorkload,
+    get_workload,
+    list_workloads,
+    DEIT_TINY,
+    DEIT_SMALL,
+    DEIT_BASE,
+    MOBILEVIT_XXS,
+    MOBILEVIT_XS,
+    LEVIT_128S,
+    LEVIT_128,
+)
+
+__all__ = [
+    "AttentionLayerSpec",
+    "LinearLayerSpec",
+    "ModelWorkload",
+    "get_workload",
+    "list_workloads",
+    "DEIT_TINY",
+    "DEIT_SMALL",
+    "DEIT_BASE",
+    "MOBILEVIT_XXS",
+    "MOBILEVIT_XS",
+    "LEVIT_128S",
+    "LEVIT_128",
+]

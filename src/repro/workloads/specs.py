@@ -1,0 +1,207 @@
+"""Attention/linear-layer geometry of the ViT models evaluated in the paper.
+
+The geometries below reproduce the operation counts the paper reports in
+Table I to within a few percent (see ``tests/test_op_counting.py``):
+
+* **DeiT-Tiny/Small/Base** — 12 uniform layers over 197 tokens (196 patches
+  plus the class token) with 64-dimensional heads.
+* **MobileViT-xxs/xs** — three transformer blocks operating on progressively
+  smaller unfolded token grids (256, 64, 16 tokens) with 4 heads.
+* **LeViT-128s/128** — three stages over 196/49/16 tokens with 16-dimensional
+  query/key heads and 32-dimensional value heads, plus the shrinking
+  (downsampling) attention blocks between stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AttentionLayerSpec:
+    """Geometry of one multi-head attention layer (repeated ``repeats`` times).
+
+    Attributes:
+        tokens: number of query tokens ``n``.
+        kv_tokens: number of key/value tokens (differs from ``tokens`` only in
+            LeViT's shrinking attention blocks).
+        qk_dim: per-head query/key dimension ``d``.
+        v_dim: per-head value dimension (equals ``qk_dim`` except in LeViT).
+        heads: number of attention heads ``h``.
+        repeats: how many identical layers of this geometry the model has.
+    """
+
+    tokens: int
+    qk_dim: int
+    heads: int
+    repeats: int = 1
+    v_dim: int | None = None
+    kv_tokens: int | None = None
+
+    def __post_init__(self):
+        if self.tokens <= 0 or self.qk_dim <= 0 or self.heads <= 0 or self.repeats <= 0:
+            raise ValueError("attention layer dimensions must be positive")
+        if self.v_dim is None:
+            object.__setattr__(self, "v_dim", self.qk_dim)
+        if self.kv_tokens is None:
+            object.__setattr__(self, "kv_tokens", self.tokens)
+
+    @property
+    def embed_dim(self) -> int:
+        """Model (full) embedding width feeding this attention layer."""
+
+        return self.qk_dim * self.heads
+
+
+@dataclass(frozen=True)
+class LinearLayerSpec:
+    """One dense layer's GEMM geometry (used for end-to-end latency/energy).
+
+    ``tokens x in_features`` activations are multiplied by an
+    ``in_features x out_features`` weight; ``repeats`` counts identical layers.
+    """
+
+    tokens: int
+    in_features: int
+    out_features: int
+    repeats: int = 1
+
+    def __post_init__(self):
+        if min(self.tokens, self.in_features, self.out_features, self.repeats) <= 0:
+            raise ValueError("linear layer dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        return self.tokens * self.in_features * self.out_features * self.repeats
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """Full inference workload of one ViT model."""
+
+    name: str
+    attention_layers: tuple[AttentionLayerSpec, ...]
+    linear_layers: tuple[LinearLayerSpec, ...] = field(default_factory=tuple)
+    #: ImageNet top-1 accuracy of the pre-trained baseline, from the paper (Fig. 10).
+    baseline_accuracy: float | None = None
+
+    def total_attention_layers(self) -> int:
+        return sum(layer.repeats for layer in self.attention_layers)
+
+    def linear_macs(self) -> int:
+        """Total multiply-accumulates of the non-attention (projection/MLP) GEMMs."""
+
+        return sum(layer.macs for layer in self.linear_layers)
+
+
+def _vit_linear_layers(tokens: int, embed_dim: int, layers: int, mlp_ratio: int = 4) -> tuple[LinearLayerSpec, ...]:
+    """Standard ViT per-layer dense work: QKV projection, output projection, MLP."""
+
+    hidden = embed_dim * mlp_ratio
+    return (
+        LinearLayerSpec(tokens, embed_dim, 3 * embed_dim, repeats=layers),   # QKV
+        LinearLayerSpec(tokens, embed_dim, embed_dim, repeats=layers),       # output proj
+        LinearLayerSpec(tokens, embed_dim, hidden, repeats=layers),          # MLP up
+        LinearLayerSpec(tokens, hidden, embed_dim, repeats=layers),          # MLP down
+    )
+
+
+def _deit(name: str, embed_dim: int, heads: int, accuracy: float) -> ModelWorkload:
+    tokens, layers, head_dim = 197, 12, embed_dim // heads
+    return ModelWorkload(
+        name=name,
+        attention_layers=(
+            AttentionLayerSpec(tokens=tokens, qk_dim=head_dim, heads=heads, repeats=layers),
+        ),
+        linear_layers=_vit_linear_layers(tokens, embed_dim, layers),
+        baseline_accuracy=accuracy,
+    )
+
+
+DEIT_TINY = _deit("deit-tiny", embed_dim=192, heads=3, accuracy=72.2)
+DEIT_SMALL = _deit("deit-small", embed_dim=384, heads=6, accuracy=79.9)
+DEIT_BASE = _deit("deit-base", embed_dim=768, heads=12, accuracy=81.8)
+
+
+def _mobilevit(name: str, dims: tuple[int, int, int], accuracy: float) -> ModelWorkload:
+    """MobileViT blocks: unfolded token grids of 256/64/16 with 4 heads each."""
+
+    heads = 4
+    block_tokens = (256, 64, 16)
+    block_layers = (2, 4, 3)
+    attention = tuple(
+        AttentionLayerSpec(tokens=tokens, qk_dim=dim // heads, heads=heads, repeats=layers)
+        for tokens, dim, layers in zip(block_tokens, dims, block_layers)
+    )
+    linear = tuple(
+        spec
+        for tokens, dim, layers in zip(block_tokens, dims, block_layers)
+        for spec in _vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
+    )
+    return ModelWorkload(name=name, attention_layers=attention, linear_layers=linear,
+                         baseline_accuracy=accuracy)
+
+
+MOBILEVIT_XXS = _mobilevit("mobilevit-xxs", dims=(64, 80, 96), accuracy=73.6)
+MOBILEVIT_XS = _mobilevit("mobilevit-xs", dims=(96, 120, 144), accuracy=77.1)
+
+
+def _levit(name: str, stage_layers: tuple[int, int, int], stage_heads: tuple[int, int, int],
+           accuracy: float) -> ModelWorkload:
+    """LeViT stages: 196/49/16 tokens, 16-dim QK heads, 32-dim value heads."""
+
+    qk_dim, v_dim = 16, 32
+    stage_tokens = (196, 49, 16)
+    attention = [
+        AttentionLayerSpec(tokens=tokens, qk_dim=qk_dim, v_dim=v_dim, heads=heads, repeats=layers)
+        for tokens, heads, layers in zip(stage_tokens, stage_heads, stage_layers)
+    ]
+    # Shrinking attention between stages: queries on the subsampled grid,
+    # keys/values on the full-resolution grid, with doubled head counts.
+    attention.append(AttentionLayerSpec(tokens=49, kv_tokens=196, qk_dim=qk_dim, v_dim=v_dim,
+                                        heads=stage_heads[0] * 2, repeats=1))
+    attention.append(AttentionLayerSpec(tokens=16, kv_tokens=49, qk_dim=qk_dim, v_dim=v_dim,
+                                        heads=stage_heads[1] * 2, repeats=1))
+    embed_dims = (stage_heads[0] * 32, stage_heads[1] * 32, stage_heads[2] * 32)
+    linear = tuple(
+        spec
+        for tokens, dim, layers in zip(stage_tokens, embed_dims, stage_layers)
+        for spec in _vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
+    )
+    return ModelWorkload(name=name, attention_layers=tuple(attention), linear_layers=linear,
+                         baseline_accuracy=accuracy)
+
+
+LEVIT_128S = _levit("levit-128s", stage_layers=(2, 3, 4), stage_heads=(4, 6, 8), accuracy=76.6)
+LEVIT_128 = _levit("levit-128", stage_layers=(4, 4, 4), stage_heads=(4, 8, 12), accuracy=78.6)
+
+
+_WORKLOADS: dict[str, ModelWorkload] = {
+    workload.name: workload
+    for workload in (
+        DEIT_TINY,
+        DEIT_SMALL,
+        DEIT_BASE,
+        MOBILEVIT_XXS,
+        MOBILEVIT_XS,
+        LEVIT_128S,
+        LEVIT_128,
+    )
+}
+
+
+def get_workload(name: str) -> ModelWorkload:
+    """Look up a model workload by name (e.g. ``"deit-tiny"``)."""
+
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
+        ) from None
+
+
+def list_workloads() -> list[str]:
+    """Names of all available model workloads, in the paper's reporting order."""
+
+    return list(_WORKLOADS)

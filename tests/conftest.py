@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def qkv_small(rng):
+    """Small (batch, heads, tokens, head_dim) Q/K/V arrays in the weak regime."""
+
+    shape = (2, 3, 12, 8)
+    q = rng.normal(size=shape) * 0.3
+    k = rng.normal(size=shape) * 0.3
+    v = rng.normal(size=shape)
+    return q, k, v
+
+
+@pytest.fixture
+def qkv_tensors(qkv_small):
+    q, k, v = qkv_small
+    return Tensor(q), Tensor(k), Tensor(v)
+
+
+def numeric_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of one array."""
+
+    gradient = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(array)
+        flat[index] = original - epsilon
+        lower = function(array)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return gradient

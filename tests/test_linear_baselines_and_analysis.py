@@ -1,0 +1,203 @@
+"""Tests for the linear-attention baselines, op counting and distribution analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    DistributionStats,
+    EfficientAttention,
+    LinearTransformerAttention,
+    LinformerAttention,
+    PerformerAttention,
+    attention_distribution_stats,
+    count_taylor_attention_ops,
+    count_vanilla_attention_ops,
+    operation_ratio_additions,
+    operation_ratio_divisions,
+    operation_ratio_multiplications,
+    softmax_attention,
+)
+from repro.attention.distribution import generate_calibrated_qk, summarize_weak_fraction
+from repro.attention.op_counting import OperationCounts, table1_rows
+from repro.tensor import Tensor
+from repro.workloads import (
+    DEIT_TINY,
+    LEVIT_128,
+    MOBILEVIT_XS,
+    AttentionLayerSpec,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestLinearBaselines:
+    def test_linear_transformer_shape_and_convexity(self, qkv_tensors):
+        module = LinearTransformerAttention()
+        out = module(*qkv_tensors)
+        assert out.shape == qkv_tensors[0].shape
+        # With all-ones values a normalised linear attention returns ones.
+        ones = Tensor(np.ones_like(qkv_tensors[2].data))
+        np.testing.assert_allclose(module(qkv_tensors[0], qkv_tensors[1], ones).data, 1.0,
+                                   rtol=1e-6)
+
+    def test_efficient_attention_shape(self, qkv_tensors):
+        assert EfficientAttention()(*qkv_tensors).shape == qkv_tensors[0].shape
+
+    def test_performer_approximates_softmax_for_small_logits(self, rng):
+        q = rng.normal(size=(1, 1, 10, 8)) * 0.1
+        k = rng.normal(size=(1, 1, 10, 8)) * 0.1
+        v = rng.normal(size=(1, 1, 10, 8))
+        module = PerformerAttention(head_dim=8, num_features=256, seed=0)
+        approx = module(Tensor(q), Tensor(k), Tensor(v)).data
+        exact = softmax_attention(q, k, v)
+        assert np.max(np.abs(approx - exact)) < 0.15
+
+    def test_performer_deterministic_given_seed(self, qkv_tensors):
+        a = PerformerAttention(head_dim=8, seed=3)(*qkv_tensors).data
+        b = PerformerAttention(head_dim=8, seed=3)(*qkv_tensors).data
+        np.testing.assert_allclose(a, b)
+
+    def test_linformer_shape_and_validation(self, qkv_tensors):
+        module = LinformerAttention(num_tokens=12, projection_dim=4)
+        assert module(*qkv_tensors).shape == qkv_tensors[0].shape
+        with pytest.raises(ValueError):
+            LinformerAttention(num_tokens=12, projection_dim=0)
+        with pytest.raises(ValueError):
+            module(Tensor(np.ones((1, 3, 10, 8))), Tensor(np.ones((1, 3, 10, 8))),
+                   Tensor(np.ones((1, 3, 10, 8))))
+
+    def test_linformer_has_parameters(self):
+        module = LinformerAttention(num_tokens=12, projection_dim=4)
+        assert len(list(module.parameters())) == 2
+
+    def test_all_linear_baselines_avoid_quadratic_map(self, qkv_tensors):
+        for module in (LinearTransformerAttention(), EfficientAttention(),
+                       PerformerAttention(head_dim=8)):
+            module(*qkv_tensors)
+            assert module.last_stats["attention_entries"] == 0.0
+
+
+class TestOpCounting:
+    def test_table1_deit_tiny_matches_paper(self):
+        vitality = count_taylor_attention_ops(DEIT_TINY).in_millions()
+        baseline = count_vanilla_attention_ops(DEIT_TINY).in_millions()
+        assert baseline["Mul"] == pytest.approx(178.8, rel=0.02)
+        assert baseline["Add"] == pytest.approx(180.2, rel=0.02)
+        assert baseline["Div"] == pytest.approx(1.4, rel=0.05)
+        assert baseline["Exp"] == pytest.approx(1.4, rel=0.05)
+        assert vitality["Mul"] == pytest.approx(58.3, rel=0.03)
+        assert vitality["Add"] == pytest.approx(61.0, rel=0.03)
+        assert vitality["Div"] == pytest.approx(0.5, rel=0.15)
+
+    def test_table1_mobilevit_xs_matches_paper(self):
+        vitality = count_taylor_attention_ops(MOBILEVIT_XS).in_millions()
+        baseline = count_vanilla_attention_ops(MOBILEVIT_XS).in_millions()
+        assert vitality["Mul"] == pytest.approx(4.8, rel=0.05)
+        assert baseline["Mul"] == pytest.approx(28.4, rel=0.05)
+
+    def test_taylor_has_no_exponentiations(self):
+        for name in list_workloads():
+            assert count_taylor_attention_ops(get_workload(name)).exponentiations == 0
+
+    def test_reduction_ratio_positive_for_all_models(self):
+        for name in list_workloads():
+            workload = get_workload(name)
+            baseline = count_vanilla_attention_ops(workload)
+            vitality = count_taylor_attention_ops(workload)
+            assert baseline.multiplications > vitality.multiplications
+            assert baseline.additions > vitality.additions
+            assert baseline.divisions > vitality.divisions
+
+    def test_eq1_ratio_approximates_n_over_d(self):
+        ratio = operation_ratio_multiplications(197, 64)
+        assert ratio == pytest.approx(197 / 64, rel=0.02)
+
+    def test_eq2_ratio_below_n_over_d(self):
+        assert operation_ratio_additions(197, 64) < 197 / 64
+
+    def test_eq3_ratio_approximates_n_over_d(self):
+        assert operation_ratio_divisions(197, 64) == pytest.approx(197 / 64, rel=0.01)
+
+    def test_counts_are_additive_and_scalable(self):
+        layer = AttentionLayerSpec(tokens=10, qk_dim=4, heads=2, repeats=1)
+        single = count_vanilla_attention_ops(layer)
+        doubled = count_vanilla_attention_ops(
+            AttentionLayerSpec(tokens=10, qk_dim=4, heads=2, repeats=2))
+        assert doubled.multiplications == 2 * single.multiplications
+        combined = single + single
+        assert combined.total == doubled.total
+
+    def test_operation_counts_in_millions_keys(self):
+        counts = OperationCounts(1_000_000, 2_000_000, 3_000_000, 4_000_000)
+        millions = counts.in_millions()
+        assert millions == {"Mul": 1.0, "Add": 2.0, "Div": 3.0, "Exp": 4.0}
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows([DEIT_TINY, LEVIT_128])
+        assert len(rows) == 2
+        assert rows[0]["ratio_mul"] > 1.0
+
+
+class TestDistributionAnalysis:
+    def test_stats_structure(self, rng):
+        q = [rng.normal(size=(1, 2, 8, 4)) for _ in range(3)]
+        k = [rng.normal(size=(1, 2, 8, 4)) for _ in range(3)]
+        stats = attention_distribution_stats(q, k)
+        assert len(stats) == 3
+        assert isinstance(stats[0], DistributionStats)
+        assert 0.0 <= stats[0].fraction_weak_vanilla <= 1.0
+        assert stats[0].histogram_vanilla.sum() <= 1 * 2 * 8 * 8
+
+    def test_layer_count_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            attention_distribution_stats([rng.normal(size=(1, 1, 4, 4))], [])
+
+    def test_calibrated_qk_reproduces_fig3_gain(self):
+        """The calibrated generator yields ~46% -> ~67% weak-connection share."""
+
+        queries, keys = generate_calibrated_qk(num_layers=12, seed=0)
+        summary = summarize_weak_fraction(attention_distribution_stats(queries, keys))
+        assert 0.35 <= summary["mean_fraction_weak_vanilla"] <= 0.58
+        assert 0.60 <= summary["mean_fraction_weak_centred"] <= 0.75
+        assert summary["mean_gain"] > 0.10
+
+    def test_centering_never_reduces_weak_fraction_much(self, rng):
+        q = [rng.normal(size=(1, 1, 16, 8))]
+        k = [rng.normal(size=(1, 1, 16, 8)) + 2.0]
+        stats = attention_distribution_stats(q, k)
+        assert stats[0].fraction_weak_centred >= stats[0].fraction_weak_vanilla - 0.05
+
+
+class TestWorkloads:
+    def test_all_seven_models_present(self):
+        assert len(list_workloads()) == 7
+
+    def test_lookup_and_error(self):
+        assert get_workload("deit-tiny").name == "deit-tiny"
+        with pytest.raises(KeyError):
+            get_workload("resnet-50")
+
+    def test_deit_tiny_geometry(self):
+        layer = DEIT_TINY.attention_layers[0]
+        assert layer.tokens == 197
+        assert layer.qk_dim == 64
+        assert layer.heads == 3
+        assert layer.repeats == 12
+        assert layer.embed_dim == 192
+
+    def test_levit_asymmetric_dims(self):
+        stage = LEVIT_128.attention_layers[0]
+        assert stage.qk_dim == 16
+        assert stage.v_dim == 32
+        shrink = [l for l in LEVIT_128.attention_layers if l.kv_tokens != l.tokens]
+        assert len(shrink) == 2
+
+    def test_invalid_layer_spec(self):
+        with pytest.raises(ValueError):
+            AttentionLayerSpec(tokens=0, qk_dim=4, heads=1)
+
+    def test_linear_macs_positive(self):
+        assert DEIT_TINY.linear_macs() > 0
+        assert DEIT_TINY.total_attention_layers() == 12

@@ -1,0 +1,90 @@
+"""Tests for Property 1 (mean-centering) and the centred-key construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention import (
+    mean_center_keys,
+    mean_center_keys_array,
+    softmax_shift_invariance_gap,
+)
+from repro.attention.mean_centering import similarity_matrix
+from repro.tensor import Tensor
+
+
+class TestMeanCentering:
+    def test_centred_keys_have_zero_column_mean(self, rng):
+        k = rng.normal(size=(2, 3, 10, 6)) + 5.0
+        centred = mean_center_keys_array(k)
+        np.testing.assert_allclose(centred.mean(axis=-2), 0.0, atol=1e-12)
+
+    def test_tensor_and_array_paths_agree(self, rng):
+        k = rng.normal(size=(2, 2, 7, 5))
+        np.testing.assert_allclose(mean_center_keys(Tensor(k)).data,
+                                   mean_center_keys_array(k), rtol=1e-12)
+
+    def test_centering_is_idempotent(self, rng):
+        k = rng.normal(size=(4, 8))
+        once = mean_center_keys_array(k)
+        np.testing.assert_allclose(mean_center_keys_array(once), once, atol=1e-12)
+
+    def test_property1_softmax_invariance(self, rng):
+        """Property 1: mean-centering the keys does not change the softmax attention."""
+
+        q = rng.normal(size=(2, 3, 16, 8)) * 2
+        k = rng.normal(size=(2, 3, 16, 8)) * 2 + 1.5
+        assert softmax_shift_invariance_gap(q, k) < 1e-10
+
+    def test_property1_holds_with_large_offsets(self, rng):
+        q = rng.normal(size=(1, 1, 8, 4))
+        k = rng.normal(size=(1, 1, 8, 4)) + 50.0
+        assert softmax_shift_invariance_gap(q, k) < 1e-8
+
+    def test_centred_similarity_rows_have_zero_mean(self, rng):
+        """Row-wise mean of the centred similarity matrix is exactly zero."""
+
+        q = rng.normal(size=(1, 2, 12, 6))
+        k = rng.normal(size=(1, 2, 12, 6)) + 3.0
+        centred = similarity_matrix(q, k, centre=True)
+        np.testing.assert_allclose(centred.mean(axis=-1), 0.0, atol=1e-10)
+
+    def test_centering_shrinks_similarity_spread(self, rng):
+        """Mean-centering concentrates the similarities around zero when keys share an offset."""
+
+        q = rng.normal(size=(1, 1, 20, 8))
+        shared = rng.normal(size=(1, 1, 1, 8)) * 4.0
+        k = rng.normal(size=(1, 1, 20, 8)) + shared
+        raw = similarity_matrix(q, k, centre=False)
+        centred = similarity_matrix(q, k, centre=True)
+        assert np.abs(centred).mean() < np.abs(raw).mean()
+
+    def test_gradient_flows_through_centering(self, rng):
+        k = Tensor(rng.normal(size=(1, 1, 5, 4)), requires_grad=True)
+        mean_center_keys(k).sum().backward()
+        # d/dk sum(K - mean(K)) = 0 because the mean removes exactly the sum.
+        np.testing.assert_allclose(k.grad, 0.0, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tokens=st.integers(2, 12), head_dim=st.integers(1, 8), offset=st.floats(-20, 20))
+def test_property1_shift_invariance_property(tokens, head_dim, offset):
+    """Softmax over mean-centred keys equals softmax over raw keys for any geometry."""
+
+    rng = np.random.default_rng(tokens * 31 + head_dim)
+    q = rng.normal(size=(1, 1, tokens, head_dim))
+    k = rng.normal(size=(1, 1, tokens, head_dim)) + offset
+    assert softmax_shift_invariance_gap(q, k) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(tokens=st.integers(2, 10), head_dim=st.integers(1, 6))
+def test_centred_key_column_sum_is_zero_property(tokens, head_dim):
+    """k_hat_sum = 1_n^T K_hat is exactly zero — the structural fact Algorithm 1 relies on."""
+
+    rng = np.random.default_rng(tokens * 7 + head_dim)
+    k = rng.normal(size=(tokens, head_dim)) * 3 + rng.normal()
+    centred = mean_center_keys_array(k)
+    np.testing.assert_allclose(centred.sum(axis=0), 0.0, atol=1e-10)

@@ -1,0 +1,191 @@
+"""Tests for the ViT model zoo (DeiT / MobileViT / LeViT) and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attention import SoftmaxAttention, TaylorAttention, ViTALiTyAttention
+from repro.models import (
+    MultiHeadAttention,
+    TransformerBlock,
+    VisionTransformer,
+    available_attention_modes,
+    available_models,
+    create_deit,
+    create_levit,
+    create_mobilevit,
+    create_model,
+    make_attention,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def images(rng):
+    return Tensor(rng.normal(size=(2, 3, 32, 32)))
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(embed_dim=24, num_heads=3)
+        out = mha(Tensor(rng.normal(size=(2, 10, 24))))
+        assert out.shape == (2, 10, 24)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(embed_dim=10, num_heads=3)
+
+    def test_capture_qkv(self, rng):
+        mha = MultiHeadAttention(embed_dim=16, num_heads=2, capture_qkv=True)
+        mha(Tensor(rng.normal(size=(1, 6, 16))))
+        assert mha.captured_q.shape == (1, 2, 6, 8)
+        assert mha.captured_k.shape == (1, 2, 6, 8)
+
+    def test_pluggable_attention_changes_output(self, rng):
+        x = Tensor(rng.normal(size=(1, 8, 16)))
+        softmax_mha = MultiHeadAttention(16, 2, attention=SoftmaxAttention())
+        taylor_mha = MultiHeadAttention(16, 2, attention=TaylorAttention())
+        taylor_mha.load_state_dict(softmax_mha.state_dict())
+        assert np.max(np.abs(softmax_mha(x).data - taylor_mha(x).data)) > 0.0
+
+    def test_transformer_block_residual(self, rng):
+        block = TransformerBlock(embed_dim=16, num_heads=2)
+        x = Tensor(rng.normal(size=(1, 5, 16)))
+        assert block(x).shape == (1, 5, 16)
+
+
+class TestVisionTransformer:
+    def test_forward_shape(self, images):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=2, num_heads=3, num_classes=5)
+        assert model(images).shape == (2, 5)
+
+    def test_distillation_heads(self, images):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=2, num_heads=3, num_classes=5, distillation=True)
+        class_logits, distillation_logits = model.forward_with_distillation(images)
+        assert class_logits.shape == (2, 5)
+        assert distillation_logits.shape == (2, 5)
+        combined = model(images)
+        np.testing.assert_allclose(combined.data,
+                                   (class_logits.data + distillation_logits.data) / 2)
+
+    def test_forward_with_distillation_requires_flag(self, images):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=1, num_heads=3, num_classes=5, distillation=False)
+        with pytest.raises(RuntimeError):
+            model.forward_with_distillation(images)
+
+    def test_attention_modules_listing(self):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=3, num_heads=3, num_classes=5,
+                                  attention_factory=TaylorAttention)
+        modules = model.attention_modules()
+        assert len(modules) == 3
+        assert all(isinstance(m, TaylorAttention) for m in modules)
+
+    def test_captured_qkv_per_layer(self, images):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=2, num_heads=3, num_classes=5, capture_qkv=True)
+        model(images)
+        queries, keys, values = model.captured_qkv()
+        assert len(queries) == 2
+        assert queries[0].shape == (2, 3, 17, 8)   # 16 patches + class token
+
+    def test_captured_qkv_without_capture_raises(self, images):
+        model = VisionTransformer(image_size=32, patch_size=8, in_channels=3, embed_dim=24,
+                                  depth=1, num_heads=3, num_classes=5)
+        model(images)
+        with pytest.raises(RuntimeError):
+            model.captured_qkv()
+
+
+class TestModelFactories:
+    def test_create_deit_trainable(self, images):
+        model = create_deit("deit-tiny", preset="trainable")
+        assert model(images).shape == (2, 10)
+
+    def test_create_deit_unknown(self):
+        with pytest.raises(KeyError):
+            create_deit("deit-giant")
+
+    def test_deit_paper_geometry(self):
+        model = create_deit("deit-tiny", preset="paper")
+        assert model.embed_dim == 192
+        assert model.depth == 12
+        assert model.patch_embed.num_patches == 196
+
+    def test_create_mobilevit(self, images):
+        model = create_mobilevit("mobilevit-xxs", preset="trainable")
+        assert model(images).shape == (2, 10)
+        assert len(model.attention_modules()) == 6   # 2 + 2 + 2 transformer layers
+
+    def test_create_levit(self, images):
+        model = create_levit("levit-128s", preset="trainable")
+        assert model(images).shape == (2, 10)
+        assert len(model.attention_modules()) == 5   # 3 stage layers + 2 downsamplers
+
+    def test_num_classes_override(self, images):
+        model = create_deit("deit-tiny", num_classes=7)
+        assert model(images).shape == (2, 7)
+
+
+class TestRegistry:
+    def test_available_lists(self):
+        assert len(available_models()) == 7
+        assert "vitality" in available_attention_modes()
+
+    def test_make_attention_all_modes(self):
+        for mode in available_attention_modes():
+            module = make_attention(mode, head_dim=8, num_tokens=16)
+            assert module is not None
+
+    def test_make_attention_aliases(self):
+        assert isinstance(make_attention("lowrank"), TaylorAttention)
+        assert isinstance(make_attention("baseline"), SoftmaxAttention)
+        assert isinstance(make_attention("unified"), ViTALiTyAttention)
+
+    def test_make_attention_threshold_override(self):
+        module = make_attention("vitality", threshold=0.25)
+        assert module.threshold == 0.25
+
+    def test_make_attention_unknown(self):
+        with pytest.raises(ValueError):
+            make_attention("flash")
+
+    def test_performer_requires_head_dim(self):
+        with pytest.raises(ValueError):
+            make_attention("performer")
+
+    @pytest.mark.parametrize("name", ["deit-tiny", "mobilevit-xxs", "levit-128s"])
+    @pytest.mark.parametrize("mode", ["softmax", "taylor", "vitality"])
+    def test_create_model_matrix(self, images, name, mode):
+        model = create_model(name, attention_mode=mode)
+        assert model(images).shape == (2, 10)
+
+    def test_create_model_unknown(self):
+        with pytest.raises(KeyError):
+            create_model("resnet")
+
+    def test_state_dict_transfer_between_attention_modes(self, images):
+        """Models built with different attention modes share parameter names."""
+
+        softmax_model = create_model("deit-tiny", attention_mode="softmax")
+        taylor_model = create_model("deit-tiny", attention_mode="taylor")
+        taylor_model.load_state_dict(softmax_model.state_dict())
+        for (name_a, param_a), (name_b, param_b) in zip(softmax_model.named_parameters(),
+                                                        taylor_model.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_eval_mode_taylor_equals_vitality_after_transfer(self, images):
+        """ViTALiTy at inference reduces to the Taylor-attention model exactly."""
+
+        taylor_model = create_model("deit-tiny", attention_mode="taylor")
+        vitality_model = create_model("deit-tiny", attention_mode="vitality")
+        vitality_model.load_state_dict(taylor_model.state_dict())
+        taylor_model.eval()
+        vitality_model.eval()
+        np.testing.assert_allclose(taylor_model(images).data, vitality_model(images).data,
+                                   rtol=1e-8)

@@ -1,0 +1,134 @@
+"""Tests for convolutions (im2col lowering) against a naive reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.conv import conv2d
+from repro.tensor import Tensor
+
+from tests.conftest import numeric_gradient
+
+
+def naive_conv2d(x, weight, bias, stride, padding, groups=1):
+    """Direct loop reference convolution for validating the im2col implementation."""
+
+    batch, in_channels, height, width = x.shape
+    out_channels, in_per_group, kh, kw = weight.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+    out = np.zeros((batch, out_channels, out_h, out_w))
+    group_in = in_channels // groups
+    group_out = out_channels // groups
+    for b in range(batch):
+        for oc in range(out_channels):
+            g = oc // group_out
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, g * group_in:(g + 1) * group_in,
+                                   i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, oc, i, j] = np.sum(patch * weight[oc])
+            if bias is not None:
+                out[b, oc] += bias[oc]
+    return out
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 8, 8))
+        conv = nn.Conv2d(3, 4, 3, stride=stride, padding=padding)
+        expected = naive_conv2d(x, conv.weight.data, conv.bias.data, stride, padding)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, rtol=1e-9, atol=1e-9)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        conv = nn.Conv2d(3, 2, 1, bias=False)
+        expected = np.einsum("oc,bchw->bohw", conv.weight.data[:, :, 0, 0], x)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, rtol=1e-9)
+
+    def test_depthwise_matches_naive(self, rng):
+        x = rng.normal(size=(2, 4, 6, 6))
+        conv = nn.DepthwiseConv2d(4, 3, padding=1)
+        expected = naive_conv2d(x, conv.weight.data, conv.bias.data, 1, 1, groups=4)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, rtol=1e-9, atol=1e-9)
+
+    def test_grouped_conv_matches_naive(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        conv = nn.Conv2d(4, 6, 3, padding=1, groups=2)
+        expected = naive_conv2d(x, conv.weight.data, conv.bias.data, 1, 1, groups=2)
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, rtol=1e-9, atol=1e-9)
+
+    def test_output_shape_formula(self, rng):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(rng.normal(size=(1, 3, 9, 9))))
+        assert out.shape == (1, 8, 5, 5)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.ones((1, 3, 4, 4))), Tensor(np.ones((4, 2, 3, 3))), None, groups=2)
+
+    def test_rejects_channel_mismatch(self):
+        conv = nn.Conv2d(3, 4, 3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.ones((1, 5, 8, 8))))
+
+    def test_no_bias(self, rng):
+        conv = nn.Conv2d(2, 3, 3, bias=False)
+        assert conv.bias is None
+        assert conv(Tensor(rng.normal(size=(1, 2, 5, 5)))).shape == (1, 3, 3, 3)
+
+
+class TestConv2dBackward:
+    def test_input_gradient_matches_numeric(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        conv = nn.Conv2d(2, 3, 3, padding=1)
+
+        def forward(array):
+            return float((conv(Tensor(array)) ** 2).sum().data)
+
+        t = Tensor(x.copy(), requires_grad=True)
+        (conv(t) ** 2).sum().backward()
+        numeric = numeric_gradient(forward, x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+    def test_weight_gradient_matches_numeric(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        conv = nn.Conv2d(2, 2, 3, padding=1)
+        (conv(x) ** 2).sum().backward()
+        autograd_grad = conv.weight.grad.copy()
+
+        weights = conv.weight.data.copy()
+
+        def forward(array):
+            conv.weight.data = array
+            return float((conv(x) ** 2).sum().data)
+
+        numeric = numeric_gradient(forward, weights.copy())
+        conv.weight.data = weights
+        np.testing.assert_allclose(autograd_grad, numeric, atol=1e-5)
+
+    def test_bias_gradient_is_output_sum(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)))
+        conv = nn.Conv2d(2, 3, 3, padding=1)
+        conv(x).sum().backward()
+        np.testing.assert_allclose(conv.bias.grad, np.full(3, 2 * 4 * 4), rtol=1e-10)
+
+    def test_depthwise_gradient_flows(self, rng):
+        conv = nn.DepthwiseConv2d(3, 3, padding=1)
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad.shape == (1, 3, 4, 4)
+        assert conv.weight.grad.shape == (3, 1, 3, 3)
+
+    def test_stride2_gradient_matches_numeric(self, rng):
+        x = rng.normal(size=(1, 1, 6, 6))
+        conv = nn.Conv2d(1, 2, 3, stride=2, padding=1)
+        t = Tensor(x.copy(), requires_grad=True)
+        (conv(t) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda a: float((conv(Tensor(a)) ** 2).sum().data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)

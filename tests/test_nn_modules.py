@@ -1,0 +1,258 @@
+"""Tests for the neural-network module system and basic layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+from tests.conftest import numeric_gradient
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(4, 3)
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_parameters(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.GELU(), nn.Linear(8, 2))
+        assert len(list(model.parameters())) == 4
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_parameters_prefixes(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        names = dict(model.named_parameters())
+        assert "layer0.weight" in names
+
+    def test_modules_traversal_includes_self(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Linear(2, 2))
+        assert len(list(model.modules())) == 3
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        source = nn.Sequential(nn.Linear(4, 4), nn.LayerNorm(4))
+        target = nn.Sequential(nn.Linear(4, 4), nn.LayerNorm(4))
+        target.load_state_dict(source.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        layer = nn.Linear(4, 4)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_state_dict_unknown_key_raises(self):
+        layer = nn.Linear(4, 4)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nope": np.zeros(1)})
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+
+    def test_apply_visits_all_modules(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Linear(2, 2))
+        visited = []
+        model.apply(lambda m: visited.append(type(m).__name__))
+        assert visited.count("Linear") == 2
+
+    def test_module_list_indexing_and_len(self):
+        ml = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert isinstance(ml[1], nn.Linear)
+        with pytest.raises(RuntimeError):
+            ml(Tensor(np.ones((1, 2))))
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.Linear(2, 3))
+        model.append(nn.Linear(3, 4))
+        assert model(Tensor(np.ones((1, 2)))).shape == (1, 4)
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(5, 3)
+        x = rng.normal(size=(4, 5))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_weight_gradient(self, rng):
+        layer = nn.Linear(3, 2)
+        x = rng.normal(size=(4, 3))
+        layer(Tensor(x)).sum().backward()
+        np.testing.assert_allclose(layer.weight.grad, x.sum(axis=0)[:, None] * np.ones((3, 2)))
+
+    def test_identity(self, rng):
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_allclose(nn.Identity()(Tensor(x)).data, x)
+
+    def test_tokens_batch_forward(self, rng):
+        """Linear applies to the last dim of (batch, tokens, features) input."""
+
+        layer = nn.Linear(6, 2)
+        out = layer(Tensor(rng.normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 2)
+
+
+class TestNorms:
+    def test_layer_norm_normalises(self, rng):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(4, 8)) * 7 + 2)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_layer_norm_gradient_through_weight(self, rng):
+        layer = nn.LayerNorm(4)
+        x = Tensor(rng.normal(size=(2, 4)))
+        (layer(x) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_batchnorm_train_normalises_batch(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = rng.normal(size=(8, 3, 4, 4)) * 3 + 5
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_batchnorm_updates_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(size=(4, 2, 3, 3)) + 10.0
+        bn(Tensor(x))
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3)) + 10.0
+        for _ in range(60):
+            bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).data
+        # After many identical batches the running stats approach the batch
+        # stats, so eval-mode output is close to normalised.
+        assert abs(out.mean()) < 0.5
+
+    def test_batchnorm_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(np.ones((2, 3))))
+
+
+class TestDropoutActivations:
+    def test_dropout_eval_identity(self, rng):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_zeroes_entries(self):
+        layer = nn.Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones((50, 50)))).data
+        assert (out == 0.0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_activation_modules_match_functional(self, rng):
+        x = rng.normal(size=(4, 4))
+        from repro.tensor import functional as F
+
+        np.testing.assert_allclose(nn.GELU()(Tensor(x)).data, F.gelu(Tensor(x)).data)
+        np.testing.assert_allclose(nn.ReLU()(Tensor(x)).data, np.maximum(x, 0))
+        np.testing.assert_allclose(nn.SiLU()(Tensor(x)).data, F.silu(Tensor(x)).data)
+        np.testing.assert_allclose(nn.Hardswish()(Tensor(x)).data, F.hardswish(Tensor(x)).data)
+        np.testing.assert_allclose(nn.Sigmoid()(Tensor(x)).data, 1 / (1 + np.exp(-x)))
+        np.testing.assert_allclose(nn.Tanh()(Tensor(x)).data, np.tanh(x))
+
+
+class TestEmbeddings:
+    def test_patch_embedding_shape(self, rng):
+        embed = nn.PatchEmbedding(image_size=16, patch_size=4, in_channels=3, embed_dim=8)
+        out = embed(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 16, 8)
+
+    def test_patch_embedding_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            nn.PatchEmbedding(image_size=15, patch_size=4, in_channels=3, embed_dim=8)
+        embed = nn.PatchEmbedding(16, 4, 3, 8)
+        with pytest.raises(ValueError):
+            embed(Tensor(np.ones((1, 3, 8, 8))))
+
+    def test_patch_embedding_patch_content(self, rng):
+        """Each output token depends only on its own patch."""
+
+        embed = nn.PatchEmbedding(image_size=8, patch_size=4, in_channels=1, embed_dim=4)
+        base = rng.normal(size=(1, 1, 8, 8))
+        modified = base.copy()
+        modified[0, 0, :4, :4] += 10.0   # only the first patch changes
+        delta = embed(Tensor(modified)).data - embed(Tensor(base)).data
+        assert np.abs(delta[0, 0]).sum() > 0
+        np.testing.assert_allclose(delta[0, 1:], 0.0, atol=1e-12)
+
+    def test_positional_embedding_adds(self, rng):
+        pos = nn.PositionalEmbedding(num_tokens=5, embed_dim=4)
+        x = rng.normal(size=(2, 5, 4))
+        np.testing.assert_allclose(pos(Tensor(x)).data, x + pos.embedding.data)
+
+    def test_positional_embedding_token_mismatch(self):
+        pos = nn.PositionalEmbedding(num_tokens=5, embed_dim=4)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.ones((1, 6, 4))))
+
+    def test_class_token_prepends(self, rng):
+        token = nn.ClassToken(embed_dim=4)
+        out = token(Tensor(rng.normal(size=(3, 7, 4))))
+        assert out.shape == (3, 8, 4)
+        np.testing.assert_allclose(out.data[0, 0], token.class_token.data[0, 0])
+
+    def test_distillation_token_adds_two(self, rng):
+        token = nn.ClassToken(embed_dim=4, with_distillation_token=True)
+        out = token(Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 5, 4)
+        assert token.num_extra_tokens == 2
+
+
+class TestPooling:
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = nn.GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_avg_pool_window(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = nn.AvgPool2d(2)(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_window(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2)(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_pool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            nn.AvgPool2d(3)(Tensor(np.ones((1, 1, 4, 4))))

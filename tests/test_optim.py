@@ -1,0 +1,123 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, ConstantSchedule, CosineSchedule, WarmupCosineSchedule
+from repro.tensor import Tensor
+
+
+def _quadratic_loss(parameter: Parameter, target: np.ndarray) -> Tensor:
+    diff = parameter - Tensor(target)
+    return (diff * diff).sum()
+
+
+def _optimize(optimizer_factory, steps: int = 200) -> float:
+    target = np.array([3.0, -2.0, 0.5])
+    parameter = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([parameter])
+    for _ in range(steps):
+        loss = _quadratic_loss(parameter, target)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(np.max(np.abs(parameter.data - target)))
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        assert _optimize(lambda p: SGD(p, lr=0.1)) < 1e-4
+
+    def test_sgd_with_momentum_converges(self):
+        assert _optimize(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_adam_converges_on_quadratic(self):
+        assert _optimize(lambda p: Adam(p, lr=0.1)) < 1e-3
+
+    def test_adamw_converges_on_quadratic(self):
+        assert _optimize(lambda p: AdamW(p, lr=0.1, weight_decay=0.0)) < 1e-3
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([5.0])
+        decayed = Parameter(np.zeros(1))
+        plain = Parameter(np.zeros(1))
+        opt_decayed = AdamW([decayed], lr=0.05, weight_decay=0.1)
+        opt_plain = AdamW([plain], lr=0.05, weight_decay=0.0)
+        for _ in range(400):
+            for parameter, optimizer in ((decayed, opt_decayed), (plain, opt_plain)):
+                loss = _quadratic_loss(parameter, target)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        assert abs(decayed.data[0]) < abs(plain.data[0])
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_non_positive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_clip_grad_norm(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad = np.array([3.0, 4.0, 0.0])   # norm 5
+        optimizer = SGD([parameter], lr=0.1)
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_clip_below_max(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([0.3, 0.4])
+        SGD([parameter], lr=0.1).clip_grad_norm(1.0)
+        np.testing.assert_allclose(parameter.grad, [0.3, 0.4])
+
+
+class TestSchedules:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_constant_schedule(self):
+        schedule = ConstantSchedule(self._optimizer(0.5))
+        for _ in range(5):
+            assert schedule.step() == pytest.approx(0.5)
+
+    def test_cosine_decays_to_min(self):
+        optimizer = self._optimizer(1.0)
+        schedule = CosineSchedule(optimizer, total_epochs=10, min_lr=0.1)
+        values = [schedule.step() for _ in range(10)]
+        assert values[0] > values[-1]
+        assert values[-1] == pytest.approx(0.1)
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineSchedule(self._optimizer(1.0), total_epochs=20)
+        values = [schedule.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_increases_then_decays(self):
+        schedule = WarmupCosineSchedule(self._optimizer(1.0), total_epochs=10, warmup_epochs=3)
+        values = [schedule.step() for _ in range(10)]
+        assert values[0] < values[2]            # warmup ramps up
+        assert values[2] == pytest.approx(1.0)  # reaches base LR
+        assert values[-1] < values[3]           # cosine decays afterwards
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(self._optimizer(), total_epochs=5, warmup_epochs=5)
+        with pytest.raises(ValueError):
+            CosineSchedule(self._optimizer(), total_epochs=0)

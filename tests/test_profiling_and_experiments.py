@@ -1,0 +1,180 @@
+"""Tests for the profiling utilities and the experiment registry/drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment, list_experiments, run_experiment
+from repro.experiments.complexity import PAPER_TABLE1
+from repro.experiments.hardware_exps import (
+    PAPER_ATTENTION_SPEEDUP,
+    PAPER_FIG11_AVERAGE,
+    fig11_latency_speedup,
+    fig12_energy_efficiency,
+    pipeline_ablation,
+    salo_comparison,
+    table5_dataflow_energy,
+)
+from repro.experiments.profiling_exps import PAPER_FIG1, PAPER_TABLE2_TOTALS
+from repro.profiling import attention_flops, attention_flops_table, attention_step_profile
+from repro.profiling.breakdown import mha_runtime_breakdown_table, table2_rows
+
+
+class TestFlops:
+    def test_vitality_fewer_flops_than_baseline(self):
+        assert attention_flops("vitality") < attention_flops("baseline")
+
+    def test_table4_ordering(self):
+        """ViTALiTy's FLOPs are competitive with every comparator (Table IV)."""
+
+        table = attention_flops_table("deit-tiny")
+        vitality = table["vitality"]["flops_g"]
+        assert vitality < table["baseline"]["flops_g"]
+        assert vitality < table["linformer"]["flops_g"]
+        assert vitality < table["performer"]["flops_g"]
+        assert vitality < table["sanger"]["flops_g"]
+
+    def test_flops_magnitude_close_to_paper(self):
+        """DeiT-Tiny attention FLOPs: paper reports 0.50 G (baseline) and 0.33 G (ViTALiTy)."""
+
+        assert attention_flops("baseline") == pytest.approx(0.50, rel=0.25)
+        assert attention_flops("vitality") == pytest.approx(0.33, rel=0.25)
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            attention_flops("flash")
+
+
+class TestBreakdowns:
+    def test_fig1_fractions_sum_to_one(self):
+        table = mha_runtime_breakdown_table()
+        for platform, breakdown in table.items():
+            assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_fig1_close_to_paper(self):
+        table = mha_runtime_breakdown_table()
+        for platform, paper in PAPER_FIG1.items():
+            measured = table[platform]
+            assert measured["step2_softmax_map"] == pytest.approx(paper["step2_softmax_map"],
+                                                                  abs=0.12)
+
+    def test_step_profile_ratios(self):
+        profile = attention_step_profile("deit-tiny", "edge_gpu", "taylor")
+        ratios = profile.ratios()
+        assert sum(ratios.values()) == pytest.approx(1.0)
+        assert len(ratios) == 6
+
+    def test_step_profile_validation(self):
+        with pytest.raises(ValueError):
+            attention_step_profile(formulation="quadratic")
+
+    def test_table2_totals_close_to_paper(self):
+        """DeiT-Tiny (the calibration target) matches Table II closely; for the other
+        models the qualitative conclusion must hold: the GPU does not benefit from
+        Taylor attention (its Taylor latency is not lower than the vanilla latency)."""
+
+        rows = {row["model"]: row for row in table2_rows()}
+        deit = rows["deit-tiny"]
+        assert deit["vanilla_total_ms"] == pytest.approx(PAPER_TABLE2_TOTALS["deit-tiny"]["vanilla"],
+                                                         rel=0.3)
+        assert deit["taylor_total_ms"] == pytest.approx(PAPER_TABLE2_TOTALS["deit-tiny"]["taylor"],
+                                                        rel=0.3)
+        for model in PAPER_TABLE2_TOTALS:
+            assert rows[model]["taylor_total_ms"] > 0.9 * rows[model]["vanilla_total_ms"]
+
+    def test_table2_pre_post_processing_is_substantial_on_gpu(self):
+        """The paper's point: pre/post steps are ~50% of Taylor latency on a GPU."""
+
+        profile = attention_step_profile("deit-tiny", "edge_gpu", "taylor")
+        ratios = profile.ratios()
+        light_steps = ratios["1:k_hat"] + ratios["3:sums"] + ratios["4:tD"] + ratios["6:Z"]
+        assert light_steps > 0.3
+
+
+class TestHardwareExperiments:
+    def test_fig11_vitality_wins_everywhere(self):
+        rows = fig11_latency_speedup(models=("deit-tiny", "levit-128"))
+        for model, row in rows.items():
+            for baseline in ("cpu", "edge_gpu", "gpu", "sanger"):
+                assert row[baseline] > 1.0, (model, baseline)
+
+    def test_fig11_ordering_matches_paper(self):
+        """CPU and edge GPU are beaten by much more than the GPU and Sanger."""
+
+        row = fig11_latency_speedup(models=("deit-tiny",))["deit-tiny"]
+        assert row["cpu"] > row["gpu"]
+        assert row["edge_gpu"] > row["gpu"]
+        assert row["attention_cpu"] > row["cpu"]
+
+    def test_fig11_rough_magnitude(self):
+        row = fig11_latency_speedup(models=("deit-tiny",))["deit-tiny"]
+        assert row["attention_cpu"] == pytest.approx(PAPER_ATTENTION_SPEEDUP["cpu"], rel=0.6)
+        assert row["gpu"] == pytest.approx(PAPER_FIG11_AVERAGE["gpu"], rel=1.5)
+        assert row["sanger"] == pytest.approx(PAPER_FIG11_AVERAGE["sanger"], rel=1.2)
+
+    def test_fig12_energy_improvements(self):
+        rows = fig12_energy_efficiency(models=("deit-tiny",))
+        row = rows["deit-tiny"]
+        for baseline in ("cpu", "edge_gpu", "gpu", "sanger"):
+            assert row[baseline] > 1.0
+
+    def test_table5_down_forward_wins_all_models(self):
+        table = table5_dataflow_energy()
+        for model, per_dataflow in table.items():
+            assert (per_dataflow["down_forward"]["overall_uj"]
+                    < per_dataflow["g_stationary"]["overall_uj"])
+            assert (per_dataflow["g_stationary"]["data_access_uj"]
+                    < per_dataflow["down_forward"]["data_access_uj"])
+
+    def test_table5_deit_base_magnitude(self):
+        """Paper Table V: DeiT-Base Taylor attention energy ~198-222 uJ."""
+
+        table = table5_dataflow_energy(models=("deit-base",))
+        overall = table["deit-base"]["down_forward"]["overall_uj"]
+        assert 100 < overall < 450
+
+    def test_salo_comparison_speedups(self):
+        speedups = salo_comparison()
+        assert speedups["deit-tiny"] > 2.0
+        assert speedups["deit-small"] > 2.0
+
+    def test_pipeline_ablation_gain(self):
+        result = pipeline_ablation()
+        assert result["throughput_gain"] > 1.0
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_registered(self):
+        identifiers = list_experiments()
+        for required in ("fig1", "fig3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                         "tab1", "tab2", "tab3", "tab4_flops", "tab4_accuracy", "tab5", "tab6",
+                         "salo"):
+            assert required in identifiers
+
+    def test_get_experiment_metadata(self):
+        spec = get_experiment("tab1")
+        assert spec.paper_reference == "Table I"
+        assert callable(spec.runner)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_tab1_runner_matches_paper_reference_values(self):
+        rows = run_experiment("tab1")
+        for model, paper in PAPER_TABLE1.items():
+            assert rows[model]["vitality_mul_m"] == pytest.approx(paper["vitality_mul"], rel=1.2)
+            assert rows[model]["baseline_mul_m"] == pytest.approx(paper["baseline_mul"], rel=0.15)
+
+    def test_eq1_3_runner(self):
+        ratios = run_experiment("eq1_3")
+        assert ratios["multiplications"] == pytest.approx(ratios["n_over_d"], rel=0.05)
+
+    def test_tab6_runner(self):
+        table = run_experiment("tab6")
+        assert table["vitality"]["processors"] == ["Acc.", "Div.", "Add."]
+
+    def test_fig3_runner_calibrated(self):
+        summary = run_experiment("fig3", quick=True, source="calibrated")
+        assert summary["mean_fraction_weak_centred"] > summary["mean_fraction_weak_vanilla"]

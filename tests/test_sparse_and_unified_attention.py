@@ -1,0 +1,221 @@
+"""Tests for the Sanger sparse attention and the unified ViTALiTy attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention import (
+    SangerSparseAttention,
+    SoftmaxAttention,
+    TaylorAttention,
+    ViTALiTyAttention,
+    pack_and_split,
+    predict_sparsity_mask,
+    quantize_symmetric,
+    softmax_attention,
+)
+from repro.tensor import Tensor
+
+
+class TestQuantization:
+    def test_quantization_bounded_error(self, rng):
+        x = rng.normal(size=(8, 16))
+        quantised = quantize_symmetric(x, bits=8)
+        scale = np.abs(x).max(axis=-1, keepdims=True) / 127
+        assert np.max(np.abs(quantised - x)) <= scale.max() / 2 + 1e-12
+
+    def test_lower_bits_mean_larger_error(self, rng):
+        x = rng.normal(size=(4, 32))
+        error4 = np.abs(quantize_symmetric(x, bits=4) - x).mean()
+        error8 = np.abs(quantize_symmetric(x, bits=8) - x).mean()
+        assert error8 < error4
+
+    def test_zero_row_handled(self):
+        np.testing.assert_allclose(quantize_symmetric(np.zeros((2, 4))), 0.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.ones((2, 2)), bits=0)
+
+
+class TestSparsityMask:
+    def test_mask_shape_and_dtype(self, qkv_small):
+        q, k, _ = qkv_small
+        mask = predict_sparsity_mask(q, k, threshold=0.1)
+        assert mask.shape == q.shape[:-1] + (k.shape[-2],)
+        assert mask.dtype == bool
+
+    def test_every_row_has_at_least_one_entry(self, rng):
+        q = rng.normal(size=(2, 2, 10, 8))
+        k = rng.normal(size=(2, 2, 10, 8))
+        mask = predict_sparsity_mask(q, k, threshold=0.99)
+        assert np.all(mask.sum(axis=-1) >= 1)
+
+    def test_threshold_zero_keeps_everything(self, qkv_small):
+        q, k, _ = qkv_small
+        assert predict_sparsity_mask(q, k, threshold=0.0).all()
+
+    def test_higher_threshold_is_sparser(self, rng):
+        q = rng.normal(size=(1, 2, 16, 8))
+        k = rng.normal(size=(1, 2, 16, 8))
+        low = predict_sparsity_mask(q, k, threshold=0.02).mean()
+        high = predict_sparsity_mask(q, k, threshold=0.5).mean()
+        assert high <= low
+
+    def test_invalid_threshold(self, qkv_small):
+        q, k, _ = qkv_small
+        with pytest.raises(ValueError):
+            predict_sparsity_mask(q, k, threshold=1.5)
+
+
+class TestPackAndSplit:
+    def test_dense_mask_row_count(self):
+        mask = np.ones((4, 64), dtype=bool)
+        result = pack_and_split(mask, row_capacity=64)
+        assert result.packed_rows == 4
+        assert result.density == 1.0
+
+    def test_empty_mask(self):
+        result = pack_and_split(np.zeros((4, 8), dtype=bool))
+        assert result.packed_rows == 0
+        assert result.density == 0.0
+        assert result.load_balance_efficiency == 1.0
+
+    def test_long_rows_are_split(self):
+        mask = np.ones((1, 130), dtype=bool)
+        result = pack_and_split(mask, row_capacity=64)
+        assert result.packed_rows == 3   # 64 + 64 + 2
+
+    def test_short_rows_are_packed(self):
+        mask = np.zeros((8, 64), dtype=bool)
+        mask[:, :8] = True              # 8 rows of 8 entries fit in one 64-wide row
+        result = pack_and_split(mask, row_capacity=64)
+        assert result.packed_rows == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            pack_and_split(np.ones((2, 2), dtype=bool), row_capacity=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(1, 8), cols=st.integers(1, 80), density=st.floats(0.0, 1.0))
+    def test_capacity_conservation_property(self, rows, cols, density):
+        """Packed rows always hold every active entry within capacity."""
+
+        rng = np.random.default_rng(rows * 100 + cols)
+        mask = rng.random((rows, cols)) < density
+        result = pack_and_split(mask, row_capacity=32)
+        active = int(mask.sum())
+        if active == 0:
+            assert result.packed_rows == 0
+        else:
+            # Enough rows to hold all entries, never more rows than entries.
+            assert result.packed_rows >= int(np.ceil(active / 32))
+            assert result.packed_rows <= active
+            assert 0.0 < result.load_balance_efficiency <= 1.0
+
+
+class TestSangerSparseAttention:
+    def test_threshold_zero_equals_softmax(self, qkv_tensors, qkv_small):
+        q, k, v = qkv_small
+        sparse = SangerSparseAttention(threshold=0.0)(*qkv_tensors).data
+        np.testing.assert_allclose(sparse, softmax_attention(q, k, v), rtol=1e-6, atol=1e-8)
+
+    def test_output_shape_and_stats(self, qkv_tensors):
+        module = SangerSparseAttention(threshold=0.05)
+        out = module(*qkv_tensors)
+        assert out.shape == qkv_tensors[0].shape
+        assert 0.0 < module.last_stats["mask_density"] <= 1.0
+
+    def test_higher_threshold_lower_density(self, qkv_tensors):
+        low = SangerSparseAttention(threshold=0.02)
+        high = SangerSparseAttention(threshold=0.5)
+        low(*qkv_tensors)
+        high(*qkv_tensors)
+        assert high.last_stats["mask_density"] <= low.last_stats["mask_density"]
+
+    def test_rows_remain_normalised(self, qkv_tensors):
+        """Masked softmax still produces a convex combination of the values."""
+
+        q, k, v = qkv_tensors
+        ones = Tensor(np.ones_like(v.data))
+        out = SangerSparseAttention(threshold=0.2)(q, k, ones)
+        np.testing.assert_allclose(out.data, 1.0, rtol=1e-6)
+
+    def test_gradients_flow(self, qkv_small):
+        q, k, v = qkv_small
+        vt = Tensor(v, requires_grad=True)
+        SangerSparseAttention(threshold=0.1)(Tensor(q), Tensor(k), vt).sum().backward()
+        assert vt.grad is not None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SangerSparseAttention(threshold=-0.1)
+
+
+class TestViTALiTyAttention:
+    def test_eval_mode_equals_pure_taylor(self, qkv_tensors):
+        """At inference the sparse component is dropped: output == Taylor attention."""
+
+        module = ViTALiTyAttention(threshold=0.5)
+        module.eval()
+        unified = module(*qkv_tensors).data
+        taylor = TaylorAttention()(*qkv_tensors).data
+        np.testing.assert_allclose(unified, taylor, rtol=1e-10)
+        assert module.last_stats["uses_sparse_component"] == 0.0
+
+    def test_training_mode_includes_sparse_residual(self, qkv_tensors):
+        module = ViTALiTyAttention(threshold=0.02)
+        module.train()
+        unified = module(*qkv_tensors).data
+        taylor = TaylorAttention()(*qkv_tensors).data
+        assert np.max(np.abs(unified - taylor)) > 0.0
+        assert module.last_stats["uses_sparse_component"] == 1.0
+
+    def test_training_with_low_threshold_approaches_softmax(self, qkv_tensors, qkv_small):
+        """Threshold ~ 0 keeps the whole residual: output ~= exact softmax attention."""
+
+        q, k, v = qkv_small
+        module = ViTALiTyAttention(threshold=0.0)
+        module.train()
+        unified = module(*qkv_tensors).data
+        np.testing.assert_allclose(unified, softmax_attention(q, k, v), atol=1e-6)
+
+    def test_use_sparse_in_eval_flag(self, qkv_tensors):
+        module = ViTALiTyAttention(threshold=0.02, use_sparse_in_eval=True)
+        module.eval()
+        unified = module(*qkv_tensors).data
+        taylor = TaylorAttention()(*qkv_tensors).data
+        assert np.max(np.abs(unified - taylor)) > 0.0
+
+    def test_occupancy_stats_reported(self, qkv_tensors):
+        module = ViTALiTyAttention(threshold=0.2)
+        module.train()
+        module(*qkv_tensors)
+        assert "sparse_residual_occupancy" in module.last_stats
+        assert 0.0 <= module.last_stats["sparse_residual_occupancy"] <= 1.0
+
+    def test_strong_connections_increase_residual(self, rng):
+        """Sharper attention (larger logits) leaves a larger strong/sparse residual."""
+
+        v = rng.normal(size=(1, 1, 16, 8))
+        weak_q = rng.normal(size=(1, 1, 16, 8)) * 0.2
+        weak_k = rng.normal(size=(1, 1, 16, 8)) * 0.2
+        strong_q, strong_k = weak_q * 12, weak_k * 12
+        module = ViTALiTyAttention(threshold=0.1)
+        module.train()
+        module(Tensor(weak_q), Tensor(weak_k), Tensor(v))
+        weak_residual = module.last_stats["sparse_residual_magnitude"]
+        module(Tensor(strong_q), Tensor(strong_k), Tensor(v))
+        strong_residual = module.last_stats["sparse_residual_magnitude"]
+        assert strong_residual > weak_residual
+
+    def test_gradients_flow_in_training_mode(self, qkv_small):
+        q, k, v = qkv_small
+        qt, kt, vt = Tensor(q, requires_grad=True), Tensor(k, requires_grad=True), Tensor(v, requires_grad=True)
+        module = ViTALiTyAttention(threshold=0.5)
+        module.train()
+        module(qt, kt, vt).sum().backward()
+        assert qt.grad is not None
+        assert vt.grad is not None

@@ -1,0 +1,181 @@
+"""Tests for the linear Taylor attention (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention import (
+    SoftmaxAttention,
+    TaylorAttention,
+    global_context_matrix,
+    softmax_attention,
+    taylor_attention,
+    taylor_attention_map,
+)
+from repro.attention.mean_centering import mean_center_keys_array
+from repro.tensor import Tensor
+
+
+def naive_first_order_taylor(q, k, v):
+    """Direct (quadratic) evaluation of the first-order Taylor softmax attention."""
+
+    d = q.shape[-1]
+    k_hat = mean_center_keys_array(k)
+    similarity = q @ np.swapaxes(k_hat, -1, -2) / np.sqrt(d)
+    weights = 1.0 + similarity
+    weights = weights / weights.sum(axis=-1, keepdims=True)
+    return weights @ v
+
+
+class TestTaylorAttentionCorrectness:
+    def test_matches_naive_first_order(self, qkv_small):
+        """Algorithm 1 (associative ordering) equals the explicit Taylor attention map."""
+
+        q, k, v = qkv_small
+        np.testing.assert_allclose(taylor_attention(q, k, v), naive_first_order_taylor(q, k, v),
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_close_to_softmax_in_weak_regime(self, qkv_small):
+        """When all similarities are small, Taylor attention approximates softmax attention."""
+
+        q, k, v = qkv_small
+        taylor = taylor_attention(q, k, v)
+        soft = softmax_attention(q, k, v)
+        assert np.max(np.abs(taylor - soft)) < 0.05
+
+    def test_diverges_from_softmax_for_strong_connections(self, rng):
+        """With large similarities the first-order approximation breaks down (Section III-C)."""
+
+        q = rng.normal(size=(1, 1, 16, 8)) * 3.0
+        k = rng.normal(size=(1, 1, 16, 8)) * 3.0
+        v = rng.normal(size=(1, 1, 16, 8))
+        gap = np.max(np.abs(taylor_attention(q, k, v) - softmax_attention(q, k, v)))
+        assert gap > 0.1
+
+    def test_intermediates_shapes(self, qkv_small):
+        q, k, v = qkv_small
+        inter = taylor_attention(q, k, v, return_intermediates=True)
+        batch, heads, tokens, dim = q.shape
+        assert inter.global_context.shape == (batch, heads, dim, dim)
+        assert inter.k_hat_sum.shape == (batch, heads, 1, dim)
+        assert inter.v_sum.shape == (batch, heads, 1, dim)
+        assert inter.denominator.shape == (batch, heads, tokens, 1)
+        assert inter.numerator.shape == (batch, heads, tokens, dim)
+        assert inter.score.shape == q.shape
+
+    def test_denominator_equals_n_sqrt_d(self, qkv_small):
+        """With exact mean-centering the Taylor denominator is the constant n*sqrt(d)."""
+
+        q, k, v = qkv_small
+        tokens, dim = q.shape[-2], q.shape[-1]
+        inter = taylor_attention(q, k, v, return_intermediates=True)
+        np.testing.assert_allclose(inter.denominator, tokens * np.sqrt(dim), rtol=1e-8)
+
+    def test_attention_map_rows_sum_to_one(self, qkv_small):
+        q, k, _ = qkv_small
+        weights = taylor_attention_map(q, k, normalise=True)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-8)
+
+    def test_global_context_matrix(self, qkv_small):
+        _, k, v = qkv_small
+        g = global_context_matrix(k, v)
+        expected = np.swapaxes(mean_center_keys_array(k), -1, -2) @ v
+        np.testing.assert_allclose(g, expected, rtol=1e-12)
+
+    def test_uniform_values_recovered_exactly(self, rng):
+        """If all values are identical the attention output equals that value exactly."""
+
+        q = rng.normal(size=(1, 1, 10, 4))
+        k = rng.normal(size=(1, 1, 10, 4))
+        v = np.ones((1, 1, 10, 4)) * 2.5
+        np.testing.assert_allclose(taylor_attention(q, k, v), 2.5, rtol=1e-8)
+
+    def test_asymmetric_value_dimension(self, rng):
+        """LeViT-style geometry: value head dim differs from query/key head dim."""
+
+        q = rng.normal(size=(1, 2, 12, 8)) * 0.2
+        k = rng.normal(size=(1, 2, 12, 8)) * 0.2
+        v = rng.normal(size=(1, 2, 12, 16))
+        out = taylor_attention(q, k, v)
+        assert out.shape == (1, 2, 12, 16)
+        np.testing.assert_allclose(out, naive_first_order_taylor(q, k, v), rtol=1e-8)
+
+    def test_asymmetric_token_counts(self, rng):
+        """Shrinking attention: fewer queries than keys/values."""
+
+        q = rng.normal(size=(1, 2, 5, 8)) * 0.2
+        k = rng.normal(size=(1, 2, 20, 8)) * 0.2
+        v = rng.normal(size=(1, 2, 20, 8))
+        out = taylor_attention(q, k, v)
+        assert out.shape == (1, 2, 5, 8)
+        np.testing.assert_allclose(out, naive_first_order_taylor(q, k, v), rtol=1e-8)
+
+
+class TestTaylorAttentionModule:
+    def test_module_matches_functional(self, qkv_tensors, qkv_small):
+        q, k, v = qkv_small
+        module = TaylorAttention()
+        out = module(*qkv_tensors)
+        np.testing.assert_allclose(out.data, taylor_attention(q, k, v), rtol=1e-6)
+
+    def test_module_never_materialises_attention_matrix(self, qkv_tensors):
+        module = TaylorAttention()
+        module(*qkv_tensors)
+        assert module.last_stats["attention_entries"] == 0.0
+        assert module.last_stats["global_context_entries"] > 0
+
+    def test_gradients_flow_to_all_inputs(self, qkv_small):
+        q, k, v = qkv_small
+        qt = Tensor(q, requires_grad=True)
+        kt = Tensor(k, requires_grad=True)
+        vt = Tensor(v, requires_grad=True)
+        TaylorAttention()(qt, kt, vt).sum().backward()
+        assert qt.grad is not None and np.any(qt.grad != 0)
+        assert kt.grad is not None
+        assert vt.grad is not None and np.any(vt.grad != 0)
+
+    def test_module_agrees_with_softmax_module_in_weak_regime(self, qkv_tensors):
+        taylor = TaylorAttention()(*qkv_tensors).data
+        soft = SoftmaxAttention()(*qkv_tensors).data
+        assert np.max(np.abs(taylor - soft)) < 0.05
+
+    def test_shape_validation(self, rng):
+        module = TaylorAttention()
+        q = Tensor(rng.normal(size=(1, 2, 4, 8)))
+        bad_k = Tensor(rng.normal(size=(1, 2, 4, 6)))
+        v = Tensor(rng.normal(size=(1, 2, 4, 8)))
+        with pytest.raises(ValueError):
+            module(q, bad_k, v)
+        with pytest.raises(ValueError):
+            module(Tensor(rng.normal(size=(4, 8))), bad_k, v)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tokens=st.integers(2, 16), head_dim=st.integers(2, 10), scale=st.floats(0.01, 0.3))
+def test_taylor_equals_naive_property(tokens, head_dim, scale):
+    """Associative-order Algorithm 1 equals the explicit map for any small geometry."""
+
+    rng = np.random.default_rng(tokens * 13 + head_dim)
+    q = rng.normal(size=(1, 1, tokens, head_dim)) * scale
+    k = rng.normal(size=(1, 1, tokens, head_dim)) * scale
+    v = rng.normal(size=(1, 1, tokens, head_dim))
+    np.testing.assert_allclose(taylor_attention(q, k, v), naive_first_order_taylor(q, k, v),
+                               rtol=1e-7, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(scale=st.floats(0.01, 0.25))
+def test_taylor_approximation_error_shrinks_with_scale_property(scale):
+    """The smaller the similarities, the closer Taylor attention is to softmax attention."""
+
+    rng = np.random.default_rng(42)
+    q = rng.normal(size=(1, 1, 12, 8))
+    k = rng.normal(size=(1, 1, 12, 8))
+    v = rng.normal(size=(1, 1, 12, 8))
+    small = np.max(np.abs(taylor_attention(q * scale, k * scale, v)
+                          - softmax_attention(q * scale, k * scale, v)))
+    large = np.max(np.abs(taylor_attention(q * scale * 4, k * scale * 4, v)
+                          - softmax_attention(q * scale * 4, k * scale * 4, v)))
+    assert small <= large + 1e-9

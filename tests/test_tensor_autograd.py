@@ -1,0 +1,321 @@
+"""Unit tests for the reverse-mode autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+
+from tests.conftest import numeric_gradient
+
+
+def _check_gradient(build, array, atol=1e-5):
+    """Compare the autograd gradient of ``build(Tensor)`` against finite differences."""
+
+    tensor = Tensor(array.copy(), requires_grad=True)
+    output = build(tensor)
+    output.backward()
+    numeric = numeric_gradient(lambda a: float(build(Tensor(a)).data), array.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicProperties:
+    def test_tensor_wraps_numpy(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert d._parents == ()
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+
+class TestArithmeticGradients:
+    def test_add_gradient(self, rng):
+        a = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (t + 2.0).sum(), a)
+
+    def test_sub_gradient(self, rng):
+        a = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (5.0 - t).sum(), a)
+
+    def test_mul_gradient(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (t * Tensor(b)).sum(), a)
+
+    def test_div_gradient(self, rng):
+        a = rng.normal(size=(3, 4)) + 3.0
+        b = rng.normal(size=(3, 4)) + 3.0
+        _check_gradient(lambda t: (Tensor(b) / t).sum(), a)
+
+    def test_pow_gradient(self, rng):
+        a = rng.normal(size=(3, 4)) + 2.0
+        _check_gradient(lambda t: (t ** 3).sum(), a)
+
+    def test_neg_gradient(self, rng):
+        a = rng.normal(size=(3,))
+        _check_gradient(lambda t: (-t).sum(), a)
+
+    def test_broadcast_add_gradient(self, rng):
+        a = rng.normal(size=(1, 4))
+        other = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (t + Tensor(other)).sum(), a)
+
+    def test_broadcast_mul_reduces_grad_shape(self, rng):
+        a = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)))
+        (a * b).sum().backward()
+        assert a.grad.shape == (1, 4)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_radd_and_rmul_with_scalars(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        out = (3.0 + t) * 2.0
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d_gradient(self, rng):
+        a = rng.normal(size=(3, 5))
+        b = rng.normal(size=(5, 4))
+        _check_gradient(lambda t: (t @ Tensor(b)).sum(), a)
+
+    def test_matmul_gradient_wrt_second_operand(self, rng):
+        a = rng.normal(size=(3, 5))
+        b = rng.normal(size=(5, 4))
+        _check_gradient(lambda t: (Tensor(a) @ t).sum(), b)
+
+    def test_batched_matmul_gradient(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        _check_gradient(lambda t: (t @ Tensor(b)).sum(), a)
+
+    def test_broadcast_matmul_gradient(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        _check_gradient(lambda t: (Tensor(a) @ t).sum(), b)
+
+    def test_matmul_value(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestElementwiseGradients:
+    def test_exp_gradient(self, rng):
+        _check_gradient(lambda t: t.exp().sum(), rng.normal(size=(3, 3)))
+
+    def test_log_gradient(self, rng):
+        _check_gradient(lambda t: t.log().sum(), rng.uniform(0.5, 2.0, size=(3, 3)))
+
+    def test_sqrt_gradient(self, rng):
+        _check_gradient(lambda t: t.sqrt().sum(), rng.uniform(0.5, 2.0, size=(3, 3)))
+
+    def test_tanh_gradient(self, rng):
+        _check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(3, 3)))
+
+    def test_erf_gradient(self, rng):
+        _check_gradient(lambda t: t.erf().sum(), rng.normal(size=(3, 3)))
+
+    def test_abs_gradient(self, rng):
+        _check_gradient(lambda t: t.abs().sum(), rng.normal(size=(3, 3)) + 0.5)
+
+    def test_sigmoid_gradient(self, rng):
+        _check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(3, 3)))
+
+    def test_relu_gradient(self, rng):
+        _check_gradient(lambda t: t.relu().sum(), rng.normal(size=(3, 3)) + 0.1)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        t = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradient_routes_to_larger(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        a.maximum(b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_where_gradient(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        condition = np.array([True, False, True])
+        a.where(condition, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_gradient(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        _check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), a)
+
+    def test_sum_keepdims_shape(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient(self, rng):
+        a = rng.normal(size=(4, 6))
+        _check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), a)
+
+    def test_mean_multi_axis(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        value = Tensor(a).mean(axis=(0, 2))
+        np.testing.assert_allclose(value.data, a.mean(axis=(0, 2)))
+
+    def test_var_matches_numpy(self, rng):
+        a = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(Tensor(a).var(axis=1).data, a.var(axis=1), rtol=1e-10)
+
+    def test_max_gradient(self, rng):
+        a = rng.normal(size=(4, 5))
+        _check_gradient(lambda t: t.max(axis=1).sum(), a)
+
+    def test_reshape_gradient(self, rng):
+        a = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (t.reshape(2, 6) ** 2).sum(), a)
+
+    def test_transpose_default_swaps_last_two(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert Tensor(a).transpose().shape == (2, 4, 3)
+
+    def test_transpose_gradient(self, rng):
+        a = rng.normal(size=(3, 4))
+        _check_gradient(lambda t: (t.transpose((1, 0)) @ Tensor(np.ones((3, 2)))).sum(), a)
+
+    def test_getitem_gradient_is_scatter(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t[0].sum().backward()
+        np.testing.assert_allclose(t.grad, [[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]])
+
+    def test_getitem_slice_gradient(self, rng):
+        a = rng.normal(size=(4, 6))
+        _check_gradient(lambda t: (t[:, 1:4] ** 2).sum(), a)
+
+    def test_concat_gradient_splits(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = Tensor.concat([a, b], axis=0)
+        (out * Tensor(np.arange(10.0).reshape(5, 2))).sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (3, 2)
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [2.0, 3.0]])
+
+    def test_stack_shape(self):
+        parts = [Tensor(np.ones((2, 3))) for _ in range(4)]
+        assert Tensor.stack(parts, axis=0).shape == (4, 2, 3)
+
+    def test_squeeze_and_expand_dims(self):
+        t = Tensor(np.ones((2, 1, 3)))
+        assert t.squeeze(1).shape == (2, 3)
+        assert t.expand_dims(0).shape == (1, 2, 1, 3)
+        with pytest.raises(ValueError):
+            t.squeeze(0)
+
+    def test_swapaxes(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_gradient(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        y = (a * b).sum()
+        y.backward()
+        # d/dx (2x * (x+1)) = 4x + 2 = 14
+        np.testing.assert_allclose(x.grad, [14.0])
+
+    def test_deep_chain_gradient(self):
+        x = Tensor([0.5], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.01 ** 50], rtol=1e-10)
+
+    def test_zero_grad_resets(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_explicit_grad_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.integers(1, 5), inner=st.integers(1, 5), cols=st.integers(1, 5))
+def test_matmul_gradient_shapes_property(rows, inner, cols):
+    """Gradient shapes always match operand shapes, whatever the dimensions."""
+
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(rows, inner)), requires_grad=True)
+    b = Tensor(rng.normal(size=(inner, cols)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (rows, inner)
+    assert b.grad.shape == (inner, cols)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-5, 5), min_size=1, max_size=20))
+def test_sum_gradient_is_ones_property(values):
+    """d(sum)/dx is exactly one for every element."""
+
+    x = Tensor(np.array(values), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(len(values)))

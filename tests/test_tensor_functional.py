@@ -1,0 +1,209 @@
+"""Tests for the functional building blocks (softmax, losses, activations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.special import softmax as scipy_softmax
+
+from repro.tensor import (
+    Tensor,
+    cross_entropy,
+    dropout,
+    gelu,
+    kl_div_with_logits,
+    layer_norm,
+    log_softmax,
+    mse_loss,
+    one_hot,
+    softmax,
+)
+from repro.tensor.functional import elu, hardswish, linear, silu
+
+from tests.conftest import numeric_gradient
+
+
+class TestSoftmax:
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=(4, 7))
+        np.testing.assert_allclose(softmax(Tensor(x)).data, scipy_softmax(x, axis=-1), rtol=1e-10)
+
+    def test_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(3, 5, 9))), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones((3, 5)), rtol=1e-12)
+
+    def test_stable_for_large_inputs(self):
+        out = softmax(Tensor([[1000.0, 1000.0, -1000.0]])).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5])
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(softmax(Tensor(x)).data, softmax(Tensor(x + 100.0)).data,
+                                   rtol=1e-10)
+
+    def test_gradient(self, rng):
+        x = rng.normal(size=(3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        (softmax(t)[:, 0]).sum().backward()
+        numeric = numeric_gradient(lambda a: float(softmax(Tensor(a))[:, 0].sum().data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = rng.normal(size=(5, 8))
+        np.testing.assert_allclose(log_softmax(Tensor(x)).data,
+                                   np.log(softmax(Tensor(x)).data), rtol=1e-9)
+
+
+class TestLosses:
+    def test_one_hot_encoding(self):
+        encoded = one_hot(np.array([0, 2]), 3).data
+        np.testing.assert_allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10.0))
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_label_smoothing_increases_loss_at_optimum(self):
+        logits = np.full((2, 3), -10.0)
+        logits[0, 0] = 10.0
+        logits[1, 1] = 10.0
+        plain = cross_entropy(Tensor(logits), np.array([0, 1]))
+        smoothed = cross_entropy(Tensor(logits), np.array([0, 1]), label_smoothing=0.1)
+        assert smoothed.item() > plain.item()
+
+    def test_cross_entropy_gradient(self, rng):
+        x = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        t = Tensor(x.copy(), requires_grad=True)
+        cross_entropy(t, labels).backward()
+        numeric = numeric_gradient(lambda a: float(cross_entropy(Tensor(a), labels).data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    def test_kl_div_zero_when_equal(self, rng):
+        logits = rng.normal(size=(4, 6))
+        loss = kl_div_with_logits(Tensor(logits), Tensor(logits.copy()))
+        assert loss.item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_kl_div_positive_when_different(self, rng):
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(4, 6))
+        assert kl_div_with_logits(Tensor(a), Tensor(b)).item() > 0.0
+
+    def test_kl_div_teacher_detached(self, rng):
+        student = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        teacher = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        kl_div_with_logits(student, teacher).backward()
+        assert student.grad is not None
+        assert teacher.grad is None
+
+    def test_mse_loss(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+
+class TestActivations:
+    def test_gelu_reference_values(self):
+        # GELU(0) = 0, GELU is ~x for large positive x, ~0 for large negative x.
+        out = gelu(Tensor([0.0, 10.0, -10.0])).data
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(10.0, rel=1e-6)
+        assert out[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gelu_gradient(self, rng):
+        x = rng.normal(size=(4, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        gelu(t).sum().backward()
+        numeric = numeric_gradient(lambda a: float(gelu(Tensor(a)).sum().data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-6)
+
+    def test_silu_matches_definition(self, rng):
+        x = rng.normal(size=(5,))
+        np.testing.assert_allclose(silu(Tensor(x)).data, x / (1.0 + np.exp(-x)), rtol=1e-10)
+
+    def test_hardswish_saturates(self):
+        out = hardswish(Tensor([-4.0, 0.0, 4.0])).data
+        np.testing.assert_allclose(out, [0.0, 0.0, 4.0])
+
+    def test_elu_matches_definition(self):
+        out = elu(Tensor([-1.0, 0.5])).data
+        np.testing.assert_allclose(out, [np.exp(-1.0) - 1.0, 0.5], rtol=1e-10)
+
+    def test_elu_plus_one_positive(self, rng):
+        """The Linear Transformer feature map elu(x)+1 must be strictly positive."""
+
+        x = rng.normal(size=(100,)) * 3
+        assert np.all(elu(Tensor(x)).data + 1.0 > 0.0)
+
+
+class TestLayerNormDropout:
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.normal(size=(6, 16)) * 5 + 3
+        weight = Tensor(np.ones(16))
+        bias = Tensor(np.zeros(16))
+        out = layer_norm(Tensor(x), weight, bias).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_affine(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = layer_norm(Tensor(x), Tensor(np.full(8, 2.0)), Tensor(np.full(8, 1.0))).data
+        base = layer_norm(Tensor(x), Tensor(np.ones(8)), Tensor(np.zeros(8))).data
+        np.testing.assert_allclose(out, base * 2.0 + 1.0, rtol=1e-10)
+
+    def test_layer_norm_gradient(self, rng):
+        x = rng.normal(size=(3, 6))
+        weight = Tensor(np.ones(6))
+        bias = Tensor(np.zeros(6))
+        t = Tensor(x.copy(), requires_grad=True)
+        (layer_norm(t, weight, bias) ** 2).sum().backward()
+        numeric = numeric_gradient(
+            lambda a: float((layer_norm(Tensor(a), weight, bias) ** 2).sum().data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+    def test_dropout_identity_when_not_training(self, rng):
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(dropout(Tensor(x), 0.5, training=False).data, x)
+
+    def test_dropout_preserves_expectation(self):
+        x = np.ones((200, 200))
+        out = dropout(Tensor(x), 0.3, training=True, rng=np.random.default_rng(0)).data
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_dropout_rejects_rate_one(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, training=True)
+
+    def test_linear_functional(self, rng):
+        x = rng.normal(size=(4, 3))
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=(5,))
+        np.testing.assert_allclose(linear(Tensor(x), Tensor(w), Tensor(b)).data, x @ w + b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 8), st.integers(2, 10))
+def test_softmax_rows_sum_to_one_property(rows, cols):
+    rng = np.random.default_rng(rows * 100 + cols)
+    out = softmax(Tensor(rng.normal(size=(rows, cols)) * 10)).data
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(rows), rtol=1e-9)
+    assert np.all(out >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(-50, 50))
+def test_gelu_bounded_below_property(value):
+    """GELU(x) >= min(0, x) - small constant, and GELU(x) <= max(0, x)."""
+
+    out = float(gelu(Tensor([value])).data[0])
+    assert out <= max(0.0, value) + 1e-9
+    assert out >= -0.2
