@@ -1,55 +1,57 @@
 """Simulate the ViTALiTy accelerator and compare it against its hardware baselines.
 
-Runs the cycle-level ViTALiTy accelerator on every ViT workload of the paper,
-compares latency and energy against the Sanger accelerator and the analytic
-CPU / edge-GPU / GPU platform models (Figs. 11-12), and prints the dataflow
-ablation of Table V.
+Everything routes through the ``repro.engine`` API: a declarative sweep runs
+the cycle-level ViTALiTy accelerator and the Sanger baseline on every ViT
+workload of the paper, platform comparisons scale the accelerator to each
+platform's peak (Figs. 11-12), and the dataflow ablation of Table V reads the
+engine's energy breakdown.  Because results are memoised on their RunSpec,
+re-running any comparison is free — the final cache report shows it.
 
 Run with:  python examples/accelerator_simulation.py
 """
 
 from __future__ import annotations
 
-from repro.hardware import (
-    Dataflow,
-    SangerAccelerator,
-    ViTALiTyAccelerator,
-    get_platform,
-)
-from repro.workloads import get_workload, list_workloads
+from repro.engine import RunSpec, Sweep, cache_stats, get_target, simulate
+from repro.workloads import list_workloads
 
 
 def main() -> None:
-    accelerator = ViTALiTyAccelerator()
-    sanger = SangerAccelerator()
+    # One declarative sweep covers the accelerator-vs-accelerator comparison.
+    outcome = Sweep().all_models().targets("vitality", "sanger").run()
+    by_pair = {(r.model, r.target): r for r in outcome.results}
 
     print(f"{'model':15s} {'attn (ms)':>10s} {'e2e (ms)':>10s} {'vs Sanger':>10s} "
           f"{'vs GPU':>8s} {'vs EdgeGPU':>11s} {'vs CPU':>8s}")
     for name in list_workloads():
-        workload = get_workload(name)
-        own = accelerator.run_model(workload)
-        other = sanger.run_model(workload)
+        own = by_pair[(name, "vitality")]
+        other = by_pair[(name, "sanger")]
         row = [f"{name:15s}", f"{own.attention_latency * 1e3:10.3f}",
                f"{own.end_to_end_latency * 1e3:10.3f}",
                f"{other.end_to_end_latency / own.end_to_end_latency:9.1f}x"]
         for platform_name in ("gpu", "edge_gpu", "cpu"):
-            platform = get_platform(platform_name)
-            scaled = accelerator
-            if platform.peak_macs_per_second > accelerator.peak_macs_per_second:
-                scaled = accelerator.scaled_to_peak(platform.peak_macs_per_second)
-            result = scaled.run_model(workload)
-            speedup = platform.end_to_end_latency(workload) / result.end_to_end_latency
+            platform = simulate(RunSpec(name, target=platform_name))
+            scaled = simulate(RunSpec(
+                name, target="vitality",
+                scale_to_peak=get_target(platform_name).peak_macs_per_second))
+            speedup = platform.end_to_end_latency / scaled.end_to_end_latency
             width = 7 if platform_name != "edge_gpu" else 10
             row.append(f"{speedup:{width}.1f}x")
         print(" ".join(row))
 
     print("\nTable V — Taylor-attention energy (uJ), G-stationary vs down-forward accumulation:")
     for name in ("deit-base", "mobilevit-xxs", "mobilevit-xs", "levit-128s", "levit-128"):
-        workload = get_workload(name)
-        gs = ViTALiTyAccelerator(dataflow=Dataflow.G_STATIONARY).attention_energy_breakdown(workload)
-        df = ViTALiTyAccelerator(dataflow=Dataflow.DOWN_FORWARD).attention_energy_breakdown(workload)
-        print(f"  {name:15s} GS overall {gs.overall * 1e6:8.1f}   ours overall {df.overall * 1e6:8.1f}"
-              f"   (GS data {gs.data_access * 1e6:5.2f} < ours {df.data_access * 1e6:5.2f})")
+        gs = simulate(RunSpec(name, target="vitality-gstationary")).breakdown()
+        df = simulate(RunSpec(name, target="vitality")).breakdown()
+        gs_overall, df_overall = sum(gs.values()), sum(df.values())
+        print(f"  {name:15s} GS overall {gs_overall * 1e6:8.1f}   ours overall {df_overall * 1e6:8.1f}"
+              f"   (GS data {gs['data_access'] * 1e6:5.2f} < ours {df['data_access'] * 1e6:5.2f})")
+
+    # The same sweep again — every run is served from the result cache.
+    Sweep().all_models().targets("vitality", "sanger").run()
+    stats = cache_stats()
+    print(f"\nResult cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.0%} hit rate, {stats.size} unique runs)")
 
 
 if __name__ == "__main__":

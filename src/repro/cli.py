@@ -2,22 +2,37 @@
 
 Usage examples::
 
-    python -m repro list                      # list experiments and models
+    python -m repro list                      # experiments, models, targets
     python -m repro run tab1                  # regenerate Table I
     python -m repro run fig11 --json          # Fig. 11 speedups as JSON
     python -m repro run fig13 --full          # training ablation with long settings
+    python -m repro simulate deit-tiny --target sanger --json
+    python -m repro sweep --models deit-tiny,levit-128 --targets vitality,sanger
     python -m repro accelerate deit-tiny      # accelerator vs baselines for one model
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 
+from repro.engine import (
+    RunSpec,
+    Sweep,
+    UnknownTargetError,
+    get_target,
+    list_targets,
+    simulate,
+)
 from repro.experiments import get_experiment, list_experiments, run_experiment
-from repro.experiments.reporting import render_experiment
+from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
+from repro.workloads import list_workloads
+
+#: Baselines the ``accelerate`` command compares against by default.
+DEFAULT_BASELINES = ("sanger", "cpu", "edge_gpu", "gpu")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                      description="ViTALiTy (HPCA 2023) reproduction toolkit")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list experiments, models and attention modes")
+    subparsers.add_parser("list", help="list experiments, models, attention modes and targets")
 
     run = subparsers.add_parser("run", help="run one experiment by identifier")
     run.add_argument("experiment", help="experiment id, e.g. tab1, fig11, fig13")
@@ -33,11 +48,52 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="use the long (quick=False) settings for training experiments")
 
+    sim = subparsers.add_parser("simulate", help="simulate one model on one target")
+    sim.add_argument("model", help="workload name, e.g. deit-tiny")
+    sim.add_argument("--target", default="vitality",
+                     help="simulation target (see `repro list`)")
+    sim.add_argument("--attention", choices=("vanilla", "taylor"),
+                     help="attention formulation (platform targets only)")
+    sim.add_argument("--batch", type=int, default=1, help="batch size")
+    sim.add_argument("--tokens", type=int, help="override the dominant token count")
+    sim.add_argument("--dataflow", choices=("down_forward", "g_stationary"),
+                     help="ViTALiTy accumulation dataflow")
+    sim.add_argument("--no-pipeline", action="store_true",
+                     help="disable the ViTALiTy intra-layer pipeline")
+    sim.add_argument("--attention-only", action="store_true",
+                     help="skip the projection/MLP GEMMs")
+    sim.add_argument("--scale-to-peak", type=float,
+                     help="scale the PE array to this peak MAC/s before simulating")
+    sim.add_argument("--layers", action="store_true",
+                     help="include per-layer step records (implies --json)")
+    sim.add_argument("--json", action="store_true")
+
+    swp = subparsers.add_parser("sweep",
+                                help="simulate a cross product of models and targets")
+    swp.add_argument("--models", default="",
+                     help="comma-separated workload names (default: all)")
+    swp.add_argument("--targets", default="vitality,sanger",
+                     help="comma-separated target names")
+    swp.add_argument("--batch-sizes", default="1", help="comma-separated batch sizes")
+    swp.add_argument("--attention-only", action="store_true")
+    swp.add_argument("--json", action="store_true")
+
     accelerate = subparsers.add_parser("accelerate",
                                        help="run the accelerator comparison for one model")
-    accelerate.add_argument("model", choices=available_models())
+    accelerate.add_argument("model", help="workload name, e.g. deit-tiny")
+    accelerate.add_argument("--baseline", default=",".join(DEFAULT_BASELINES),
+                            help="comma-separated baseline targets to compare against")
     accelerate.add_argument("--json", action="store_true")
     return parser
+
+
+def _split_csv(text: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _command_list() -> int:
@@ -47,13 +103,14 @@ def _command_list() -> int:
         print(f"  {identifier:18s} {spec.paper_reference:18s} {spec.title}")
     print("\nModels:          " + ", ".join(available_models()))
     print("Attention modes: " + ", ".join(available_attention_modes()))
+    print("Targets:         " + ", ".join(list_targets()))
     return 0
 
 
 def _command_run(identifier: str, as_json: bool, full: bool) -> int:
     spec = get_experiment(identifier)
     kwargs = {}
-    if full and "quick" in spec.runner.__code__.co_varnames:
+    if full and "quick" in inspect.signature(spec.runner).parameters:
         kwargs["quick"] = False
     result = run_experiment(identifier, **kwargs)
     if as_json:
@@ -64,13 +121,108 @@ def _command_run(identifier: str, as_json: bool, full: bool) -> int:
     return 0
 
 
-def _command_accelerate(model: str, as_json: bool) -> int:
-    from repro.experiments.hardware_exps import fig11_latency_speedup, fig12_energy_efficiency
+def _command_simulate(arguments: argparse.Namespace) -> int:
+    try:
+        spec = RunSpec(
+            model=arguments.model,
+            target=arguments.target,
+            attention=arguments.attention,
+            batch_size=arguments.batch,
+            tokens=arguments.tokens,
+            dataflow=arguments.dataflow,
+            pipelined=False if arguments.no_pipeline else None,
+            include_linear=not arguments.attention_only,
+            scale_to_peak=arguments.scale_to_peak,
+        )
+        result = simulate(spec)
+    except (UnknownTargetError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json or arguments.layers:
+        print(result.to_json(include_layers=arguments.layers))
+    else:
+        rows = [{
+            "model": result.model,
+            "target": result.target,
+            "attention_latency_ms": result.attention_latency * 1e3,
+            "end_to_end_latency_ms": result.end_to_end_latency * 1e3,
+            "end_to_end_energy_mj": result.end_to_end_energy * 1e3,
+        }]
+        print(markdown_table(rows))
+    return 0
 
-    latency = fig11_latency_speedup(models=(model,))[model]
-    energy = fig12_energy_efficiency(models=(model,))[model]
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    models = _split_csv(arguments.models) or tuple(list_workloads())
+    targets = _split_csv(arguments.targets)
+    if not targets:
+        return _fail("no targets given")
+    try:
+        batch_sizes = tuple(int(size) for size in _split_csv(arguments.batch_sizes))
+    except ValueError:
+        return _fail(f"--batch-sizes must be comma-separated integers, "
+                     f"got {arguments.batch_sizes!r}")
+    try:
+        builder = Sweep().models(*models).targets(*targets).batch_sizes(*batch_sizes or (1,))
+        if arguments.attention_only:
+            builder.attention_only()
+        # Validate names up front so the error names the bad axis value
+        # instead of surfacing mid-sweep.
+        for model in models:
+            if model not in list_workloads():
+                return _fail(f"unknown model {model!r}; available: "
+                             + ", ".join(list_workloads()))
+        for target in targets:
+            get_target(target)
+        outcome = builder.run()
+    except (UnknownTargetError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(json.dumps(outcome.to_dict(), indent=2))
+    else:
+        print(markdown_table(outcome.to_rows()))
+        print(f"\n{len(outcome.results)} runs — cache: {outcome.hits} hits, "
+              f"{outcome.misses} misses")
+    return 0
+
+
+def _command_accelerate(arguments: argparse.Namespace) -> int:
+    model = arguments.model
+    baselines = _split_csv(arguments.baseline)
+    if model not in list_workloads():
+        return _fail(f"unknown model {model!r}; available: " + ", ".join(list_workloads()))
+    if not baselines:
+        return _fail("no baselines given")
+    try:
+        for baseline in baselines:
+            get_target(baseline)
+    except UnknownTargetError as error:
+        return _fail(str(error.args[0]))
+
+    own = simulate(RunSpec(model, target="vitality"))
+    latency: dict[str, float] = {}
+    energy: dict[str, float] = {}
+    for baseline in baselines:
+        target = get_target(baseline)
+        vitality = own
+        # Against general-purpose platforms the accelerator is scaled to the
+        # platform's peak throughput, as in Figs. 11-12.
+        if target.peak_macs_per_second > get_target("vitality").peak_macs_per_second:
+            vitality = simulate(RunSpec(model, target="vitality",
+                                        scale_to_peak=target.peak_macs_per_second))
+        other = simulate(RunSpec(model, target=baseline))
+        # Attention-only baselines (SALO) get no end-to-end ratio: comparing
+        # their attention-only total against ViTALiTy's full model would
+        # understate their cost (the paper compares SALO on attention only).
+        if other.linear_latency > 0.0 or vitality.linear_latency == 0.0:
+            latency[baseline] = other.end_to_end_latency / vitality.end_to_end_latency
+            energy[baseline] = other.end_to_end_energy / vitality.end_to_end_energy
+        latency[f"attention_{baseline}"] = other.attention_latency / vitality.attention_latency
+        energy[f"attention_{baseline}"] = other.attention_energy / vitality.attention_energy
+
     payload = {"model": model, "latency_speedup": latency, "energy_efficiency": energy}
-    if as_json:
+    if arguments.json:
         print(json.dumps(payload, indent=2))
     else:
         print(render_experiment("accelerate", {"latency speedup": latency,
@@ -88,8 +240,12 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
+    if arguments.command == "simulate":
+        return _command_simulate(arguments)
+    if arguments.command == "sweep":
+        return _command_sweep(arguments)
     if arguments.command == "accelerate":
-        return _command_accelerate(arguments.model, arguments.json)
+        return _command_accelerate(arguments)
     return 1
 
 

@@ -1,0 +1,79 @@
+"""The unified simulation engine: one public API over every hardware model.
+
+This package is the single entry point for running the paper's hardware
+evaluation matrix.  The pieces:
+
+* :class:`Target` — the protocol every simulation backend implements, with a
+  registry mapping names (``vitality``, ``vitality-gstationary``,
+  ``vitality-unpipelined``, ``sanger``, ``salo``, ``cpu``, ``edge_gpu``,
+  ``gpu``, ``pixel3``) to adapters over the cycle-level accelerators and
+  analytic platform models (:mod:`targets`);
+* :class:`RunSpec` — a frozen, hashable description of one run (model,
+  target, attention mode, batch size, token override, dataflow, pipelining,
+  peak scaling) (:mod:`spec`);
+* :func:`simulate` and :class:`ResultCache` — memoised execution keyed on
+  the spec, so repeated figure/table experiments never re-simulate an
+  identical run (:mod:`cache`);
+* :class:`Sweep` — declarative cross-product expansion of models x targets x
+  options, executed through the cache (:mod:`sweep`);
+* :class:`RunResult` — the uniform latency/energy/step schema every target
+  returns, JSON-serialisable via ``to_dict()`` (:mod:`results`).
+
+Typical use::
+
+    from repro.engine import RunSpec, simulate
+
+    result = simulate(RunSpec("deit-tiny", target="sanger"))
+    print(result.end_to_end_latency, result.to_json())
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    DEFAULT_CACHE,
+    ResultCache,
+    cache_stats,
+    clear_cache,
+    simulate,
+)
+from repro.engine.results import LayerRecord, RunResult, StepRecord
+from repro.engine.spec import ATTENTION_MODES, DATAFLOWS, RunSpec, scale_workload_tokens
+from repro.engine.sweep import Sweep, SweepOutcome, sweep
+from repro.engine.targets import (
+    PlatformTarget,
+    SALOTarget,
+    SangerTarget,
+    Target,
+    UnknownTargetError,
+    VitalityTarget,
+    get_target,
+    list_targets,
+    register_target,
+)
+
+__all__ = [
+    "ATTENTION_MODES",
+    "DATAFLOWS",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "LayerRecord",
+    "PlatformTarget",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "SALOTarget",
+    "SangerTarget",
+    "StepRecord",
+    "Sweep",
+    "SweepOutcome",
+    "Target",
+    "UnknownTargetError",
+    "VitalityTarget",
+    "cache_stats",
+    "clear_cache",
+    "get_target",
+    "list_targets",
+    "register_target",
+    "scale_workload_tokens",
+    "simulate",
+    "sweep",
+]

@@ -1,0 +1,109 @@
+"""Uniform result schema returned by every simulation target.
+
+Whatever hardware model produced them — the cycle-level ViTALiTy/Sanger/SALO
+accelerators or the analytic platform models — results are normalised into a
+:class:`RunResult`: latencies and energies in SI units, an energy breakdown,
+and per-layer step records.  This is what makes results comparable across
+targets, serialisable to JSON, and safe to memoise (all fields are immutable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One computational step of a layer on one hardware chunk."""
+
+    name: str
+    chunk: str
+    latency_seconds: float
+    energy_joules: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "chunk": self.chunk,
+            "latency_seconds": self.latency_seconds,
+            "energy_joules": self.energy_joules,
+        }
+
+
+@dataclass(frozen=True)
+class LayerRecord:
+    """One simulated layer: its latency/energy per occurrence and repeat count."""
+
+    name: str
+    kind: str                          # "attention" | "linear" | "profile"
+    repeats: int
+    latency_seconds: float             # one occurrence
+    energy_joules: float               # one occurrence
+    steps: tuple[StepRecord, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "repeats": self.repeats,
+            "latency_seconds": self.latency_seconds,
+            "energy_joules": self.energy_joules,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Normalised outcome of simulating one :class:`~repro.engine.RunSpec`.
+
+    Attributes:
+        model: workload name the run was executed on.
+        target: registry name of the target that produced the result.
+        attention_latency: seconds spent in the attention layers (per batch).
+        linear_latency: seconds spent in projection/MLP GEMMs (zero when the
+            run was attention-only or the target models no dense layers).
+        attention_energy / linear_energy: joules, split the same way.
+        end_to_end_latency / end_to_end_energy: whole-run totals.  Stored
+            rather than derived so each target controls exactly how its
+            components combine (bit-identical to the underlying model).
+        energy_breakdown: target-specific energy categories in joules (the
+            ViTALiTy targets report the Table V split ``data_access`` /
+            ``other_processors`` / ``systolic_array`` of the attention module).
+        layers: per-layer records with their step-level latency/energy.
+    """
+
+    model: str
+    target: str
+    attention_latency: float
+    linear_latency: float
+    attention_energy: float
+    linear_energy: float
+    end_to_end_latency: float
+    end_to_end_energy: float
+    energy_breakdown: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+    layers: tuple[LayerRecord, ...] = field(default_factory=tuple)
+
+    def breakdown(self) -> dict[str, float]:
+        """The energy breakdown as a plain dictionary."""
+
+        return dict(self.energy_breakdown)
+
+    def to_dict(self, include_layers: bool = False) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "model": self.model,
+            "target": self.target,
+            "attention_latency": self.attention_latency,
+            "linear_latency": self.linear_latency,
+            "end_to_end_latency": self.end_to_end_latency,
+            "attention_energy": self.attention_energy,
+            "linear_energy": self.linear_energy,
+            "end_to_end_energy": self.end_to_end_energy,
+            "energy_breakdown": self.breakdown(),
+        }
+        if include_layers:
+            payload["layers"] = [layer.to_dict() for layer in self.layers]
+        return payload
+
+    def to_json(self, include_layers: bool = False, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(include_layers=include_layers), indent=indent)

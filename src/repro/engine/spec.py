@@ -1,0 +1,115 @@
+"""Declarative, hashable description of one simulation run.
+
+A :class:`RunSpec` captures everything that determines a simulation's outcome
+— model, target, attention formulation, batch size, token-count override,
+dataflow, pipelining, linear-layer inclusion, and peak-throughput scaling —
+so identical runs can be recognised and served from the result cache, and
+cross-product sweeps can be expanded mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.workloads import ModelWorkload, get_workload
+
+#: Dataflows accepted by the ViTALiTy targets (values of
+#: :class:`repro.hardware.Dataflow`).
+DATAFLOWS = ("down_forward", "g_stationary")
+
+#: Attention formulations accepted by the platform targets.
+ATTENTION_MODES = ("vanilla", "taylor")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation request.
+
+    Attributes:
+        model: workload name, e.g. ``"deit-tiny"`` (see
+            :func:`repro.workloads.list_workloads`).
+        target: registry name of the simulation target, e.g. ``"vitality"``
+            or ``"edge_gpu"`` (see :func:`repro.engine.list_targets`).
+        attention: attention formulation for targets that support more than
+            one (``"vanilla"`` or ``"taylor"`` on the platform models);
+            ``None`` selects the target's native formulation.
+        batch_size: images processed back to back; latency and energy scale
+            linearly (the simulators model single-image residency).
+        tokens: override the workload's dominant token count; every layer's
+            token dimensions are rescaled proportionally.
+        dataflow: accumulation dataflow override for the ViTALiTy targets
+            (``"down_forward"`` or ``"g_stationary"``).
+        pipelined: intra-layer pipelining override for the ViTALiTy targets.
+        include_linear: include the projection/MLP GEMMs (set ``False`` for
+            attention-only comparisons such as the SALO study).
+        scale_to_peak: scale the target's PE array up to this peak MAC/s
+            before simulating, if the target supports scaling and its native
+            peak is lower (the paper's platform-comparison methodology).
+    """
+
+    model: str
+    target: str = "vitality"
+    attention: str | None = None
+    batch_size: int = 1
+    tokens: int | None = None
+    dataflow: str | None = None
+    pipelined: bool | None = None
+    include_linear: bool = True
+    scale_to_peak: float | None = None
+
+    def __post_init__(self):
+        if not self.model:
+            raise ValueError("RunSpec.model must be a non-empty workload name")
+        if not self.target:
+            raise ValueError("RunSpec.target must be a non-empty target name")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.tokens is not None and self.tokens < 1:
+            raise ValueError(f"tokens override must be >= 1, got {self.tokens}")
+        if self.attention is not None and self.attention not in ATTENTION_MODES:
+            raise ValueError(f"attention must be one of {ATTENTION_MODES}, "
+                             f"got {self.attention!r}")
+        if self.dataflow is not None and self.dataflow not in DATAFLOWS:
+            raise ValueError(f"dataflow must be one of {DATAFLOWS}, got {self.dataflow!r}")
+        if self.scale_to_peak is not None and self.scale_to_peak <= 0:
+            raise ValueError("scale_to_peak must be positive")
+
+    def workload(self) -> ModelWorkload:
+        """Resolve the (possibly token-rescaled) workload this spec runs on."""
+
+        workload = get_workload(self.model)
+        if self.tokens is None:
+            return workload
+        return scale_workload_tokens(workload, self.tokens)
+
+    def to_dict(self) -> dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def scale_workload_tokens(workload: ModelWorkload, tokens: int) -> ModelWorkload:
+    """Rescale every layer's token dimensions so the dominant attention layer
+    processes ``tokens`` query tokens.
+
+    Multi-stage models (MobileViT, LeViT) keep their relative stage geometry;
+    each layer's token counts are scaled by the same ratio (floored at 1).
+    """
+
+    if tokens < 1:
+        raise ValueError(f"tokens must be >= 1, got {tokens}")
+    base = max(spec.tokens for spec in workload.attention_layers)
+    if tokens == base:
+        return workload
+    ratio = tokens / base
+
+    def _scaled(count: int) -> int:
+        return max(1, round(count * ratio))
+
+    attention = tuple(
+        replace(spec, tokens=_scaled(spec.tokens), kv_tokens=_scaled(spec.kv_tokens))
+        for spec in workload.attention_layers
+    )
+    linear = tuple(
+        replace(spec, tokens=_scaled(spec.tokens)) for spec in workload.linear_layers
+    )
+    return replace(workload, name=f"{workload.name}@{tokens}tok",
+                   attention_layers=attention, linear_layers=linear)

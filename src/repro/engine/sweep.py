@@ -1,0 +1,153 @@
+"""Declarative cross-product sweeps over models, targets and run options.
+
+A :class:`Sweep` expands ``{models} x {targets} x {options}`` into
+:class:`RunSpec` instances and executes them through the result cache, so a
+sweep that revisits pairs another figure already simulated costs nothing::
+
+    outcome = (Sweep()
+               .models("deit-tiny", "deit-small")
+               .targets("vitality", "sanger")
+               .run())
+    for result in outcome.results:
+        print(result.model, result.target, result.end_to_end_latency)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.engine.cache import DEFAULT_CACHE, ResultCache, simulate
+from repro.engine.results import RunResult
+from repro.engine.spec import RunSpec
+from repro.workloads import list_workloads
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Every result of one sweep plus the cache traffic it generated."""
+
+    specs: tuple[RunSpec, ...]
+    results: tuple[RunResult, ...]
+    hits: int
+    misses: int
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat per-run rows, ready for markdown/JSON reporting."""
+
+        rows = []
+        for spec, result in zip(self.specs, self.results):
+            rows.append({
+                "model": spec.model,
+                "target": spec.target,
+                "attention": spec.attention or "native",
+                "batch_size": spec.batch_size,
+                "attention_latency_ms": result.attention_latency * 1e3,
+                "end_to_end_latency_ms": result.end_to_end_latency * 1e3,
+                "end_to_end_energy_mj": result.end_to_end_energy * 1e3,
+            })
+        return rows
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "runs": [dict(spec=spec.to_dict(), result=result.to_dict())
+                     for spec, result in zip(self.specs, self.results)],
+            "cache": {"hits": self.hits, "misses": self.misses},
+        }
+
+
+@dataclass
+class Sweep:
+    """Builder for a cross product of simulation runs.
+
+    Each ``models``/``targets``/... call replaces that axis; axes left at
+    their defaults contribute a single value to the product.  The models
+    axis defaults to every workload *only when never set* — an explicitly
+    empty selection yields an empty sweep, it does not fan out.
+    """
+
+    _models: tuple[str, ...] | None = None
+    _targets: tuple[str, ...] = ("vitality",)
+    _attentions: tuple[str | None, ...] = (None,)
+    _batch_sizes: tuple[int, ...] = (1,)
+    _token_counts: tuple[int | None, ...] = (None,)
+    _dataflows: tuple[str | None, ...] = (None,)
+    _include_linear: bool = True
+
+    def models(self, *names: str) -> "Sweep":
+        self._models = tuple(names)
+        return self
+
+    def all_models(self) -> "Sweep":
+        self._models = tuple(list_workloads())
+        return self
+
+    def targets(self, *names: str) -> "Sweep":
+        self._targets = tuple(names)
+        return self
+
+    def attentions(self, *modes: str | None) -> "Sweep":
+        self._attentions = tuple(modes)
+        return self
+
+    def batch_sizes(self, *sizes: int) -> "Sweep":
+        self._batch_sizes = tuple(sizes)
+        return self
+
+    def token_counts(self, *counts: int | None) -> "Sweep":
+        self._token_counts = tuple(counts)
+        return self
+
+    def dataflows(self, *flows: str | None) -> "Sweep":
+        self._dataflows = tuple(flows)
+        return self
+
+    def attention_only(self) -> "Sweep":
+        self._include_linear = False
+        return self
+
+    def expand(self) -> Iterator[RunSpec]:
+        """Yield the cross product as :class:`RunSpec` instances."""
+
+        models = self._models if self._models is not None else tuple(list_workloads())
+        for model, target, attention, batch, tokens, dataflow in itertools.product(
+                models, self._targets, self._attentions, self._batch_sizes,
+                self._token_counts, self._dataflows):
+            yield RunSpec(model=model, target=target, attention=attention,
+                          batch_size=batch, tokens=tokens, dataflow=dataflow,
+                          include_linear=self._include_linear)
+
+    def run(self, cache: ResultCache | None = None) -> SweepOutcome:
+        """Execute every run in the product through the (shared) result cache."""
+
+        cache = DEFAULT_CACHE if cache is None else cache
+        before = cache.stats()
+        specs = tuple(self.expand())
+        results = tuple(simulate(spec, cache=cache) for spec in specs)
+        after = cache.stats()
+        return SweepOutcome(specs=specs, results=results,
+                            hits=after.hits - before.hits,
+                            misses=after.misses - before.misses)
+
+
+def sweep(models: Sequence[str], targets: Sequence[str],
+          cache: ResultCache | None = None, **axes) -> SweepOutcome:
+    """One-call convenience wrapper around :class:`Sweep`.
+
+    ``axes`` may set ``attentions``, ``batch_sizes``, ``token_counts``,
+    ``dataflows`` (sequences) or ``include_linear`` (bool).
+    """
+
+    builder = Sweep().models(*models).targets(*targets)
+    valid_axes = ("attentions", "batch_sizes", "token_counts", "dataflows")
+    for axis, values in axes.items():
+        if axis == "include_linear":
+            if not values:
+                builder.attention_only()
+            continue
+        if axis not in valid_axes:
+            raise TypeError(f"unknown sweep axis {axis!r}; expected one of "
+                            f"{valid_axes} or include_linear")
+        getattr(builder, axis)(*values)
+    return builder.run(cache=cache)

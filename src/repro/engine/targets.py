@@ -1,0 +1,375 @@
+"""Simulation targets: one uniform ``Target`` protocol over every hardware model.
+
+A target adapts one of the repo's hardware models — the cycle-level ViTALiTy,
+Sanger and SALO accelerators or the analytic CPU/GPU platform models — to a
+single interface::
+
+    class Target(Protocol):
+        name: str
+        peak_macs_per_second: float
+        def simulate(self, spec: RunSpec) -> RunResult: ...
+        def scaled_to_peak(self, peak) -> "Target"      # optional capability
+
+Targets are looked up by name in a registry; the default registry covers the
+paper's full evaluation matrix (``vitality`` and its dataflow/pipelining
+variants, ``sanger``, ``salo``, and the ``cpu`` / ``edge_gpu`` / ``gpu``
+platforms).  New hardware backends plug in via :func:`register_target`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Protocol, runtime_checkable
+
+from repro.engine.results import LayerRecord, RunResult, StepRecord
+from repro.engine.spec import RunSpec
+from repro.hardware import (
+    Dataflow,
+    ModelResult,
+    SALOAccelerator,
+    SangerAccelerator,
+    ViTALiTyAccelerator,
+    get_platform,
+)
+from repro.workloads import ModelWorkload
+
+
+class UnknownTargetError(KeyError):
+    """Raised when a target name is not in the registry."""
+
+
+@runtime_checkable
+class Target(Protocol):
+    """What every simulation backend must provide."""
+
+    name: str
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak MAC throughput of the target's compute fabric."""
+        ...
+
+    def simulate(self, spec: RunSpec) -> RunResult:
+        """Execute one run and return the uniform result schema."""
+        ...
+
+
+def _check_attention_mode(spec: RunSpec, native: str, target: str) -> None:
+    if spec.attention is not None and spec.attention != native:
+        raise ValueError(
+            f"target {target!r} only computes its native {native!r} attention; "
+            f"got attention={spec.attention!r}")
+
+
+def _reject_unsupported(spec: RunSpec, target: str, *fields: str) -> None:
+    """Fail loudly on RunSpec options this target cannot honor.
+
+    Silently ignoring an option would return unmodified numbers with exit 0
+    (and pollute the cache with duplicate entries for the same physical run).
+    """
+
+    for name in fields:
+        if getattr(spec, name) is not None:
+            raise ValueError(f"target {target!r} does not support {name!r} "
+                             f"(got {getattr(spec, name)!r})")
+
+
+def _batch_scaled(spec: RunSpec, result: ModelResult,
+                  breakdown: dict[str, float], layers: tuple[LayerRecord, ...],
+                  target: str) -> RunResult:
+    """Normalise a cycle-level :class:`ModelResult` into a :class:`RunResult`."""
+
+    batch = spec.batch_size
+    return RunResult(
+        model=result.model,
+        target=target,
+        attention_latency=result.attention_latency * batch,
+        linear_latency=result.linear_latency * batch,
+        attention_energy=result.attention_energy * batch,
+        linear_energy=result.linear_energy * batch,
+        end_to_end_latency=result.end_to_end_latency * batch,
+        end_to_end_energy=result.end_to_end_energy * batch,
+        energy_breakdown=tuple((key, value * batch) for key, value in breakdown.items()),
+        layers=layers,
+    )
+
+
+def _layer_records(result: ModelResult, workload: ModelWorkload,
+                   include_linear: bool) -> tuple[LayerRecord, ...]:
+    """Attach repeat counts (from the workload specs) to the simulated layers."""
+
+    kinds = [("attention", spec.repeats) for spec in workload.attention_layers]
+    if include_linear:
+        kinds += [("linear", spec.repeats) for spec in workload.linear_layers]
+    records = []
+    for layer, (kind, repeats) in zip(result.layers, kinds):
+        frequency = layer.frequency_hz
+        steps = tuple(
+            StepRecord(step.name, step.chunk, step.cycles / frequency, step.energy_joules)
+            for step in layer.steps
+        )
+        records.append(LayerRecord(name=layer.name, kind=kind, repeats=repeats,
+                                   latency_seconds=layer.latency_seconds,
+                                   energy_joules=layer.energy_joules, steps=steps))
+    return tuple(records)
+
+
+def _table5_breakdown(layers: tuple[LayerRecord, ...]) -> dict[str, float]:
+    """Table V energy split of the attention module, from the step records.
+
+    Mirrors ``ViTALiTyAccelerator.attention_energy_breakdown`` (same
+    per-layer accumulation order, so the totals are bit-identical) without
+    re-simulating the attention layers.
+    """
+
+    data_access = other_processors = systolic_array = 0.0
+    for layer in layers:
+        if layer.kind != "attention":
+            continue
+        layer_data = layer_other = layer_systolic = 0.0
+        for step in layer.steps:
+            if step.chunk in ("systolic", "sa_diag"):
+                layer_systolic += step.energy_joules
+            elif step.chunk == "memory":
+                layer_data += step.energy_joules
+            else:
+                layer_other += step.energy_joules
+        data_access += layer_data * layer.repeats
+        other_processors += layer_other * layer.repeats
+        systolic_array += layer_systolic * layer.repeats
+    return {
+        "data_access": data_access,
+        "other_processors": other_processors,
+        "systolic_array": systolic_array,
+    }
+
+
+class VitalityTarget:
+    """The ViTALiTy accelerator (Section IV), with optional variant defaults.
+
+    ``dataflow`` / ``pipelined`` set the variant's defaults; a
+    :class:`RunSpec` may still override either per run.
+    """
+
+    def __init__(self, name: str = "vitality",
+                 dataflow: Dataflow = Dataflow.DOWN_FORWARD,
+                 pipelined: bool = True,
+                 default_peak: float | None = None):
+        self.name = name
+        self.default_dataflow = dataflow
+        self.default_pipelined = pipelined
+        self.default_peak = default_peak
+
+    def _accelerator(self, spec: RunSpec) -> ViTALiTyAccelerator:
+        dataflow = (Dataflow(spec.dataflow) if spec.dataflow is not None
+                    else self.default_dataflow)
+        pipelined = (spec.pipelined if spec.pipelined is not None
+                     else self.default_pipelined)
+        accelerator = ViTALiTyAccelerator(dataflow=dataflow, pipelined=pipelined)
+        peak = spec.scale_to_peak if spec.scale_to_peak is not None else self.default_peak
+        if peak is not None and peak > accelerator.peak_macs_per_second:
+            accelerator = accelerator.scaled_to_peak(peak)
+        return accelerator
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        return ViTALiTyAccelerator().peak_macs_per_second
+
+    def canonical_spec(self, spec: RunSpec) -> RunSpec:
+        """Drop a ``scale_to_peak`` at or below the native peak (a no-op).
+
+        Not applied on pre-scaled variants (``default_peak`` set), where a
+        ``None`` scale falls back to the variant's own peak instead.
+        """
+
+        if (self.default_peak is None
+                and spec.scale_to_peak is not None
+                and spec.scale_to_peak <= self.peak_macs_per_second):
+            spec = replace(spec, scale_to_peak=None)
+        return spec
+
+    def scaled_to_peak(self, peak_macs_per_second: float) -> "VitalityTarget":
+        """A variant whose runs scale the PE array up to the given peak."""
+
+        return VitalityTarget(f"{self.name}@{peak_macs_per_second:.3g}macs",
+                              dataflow=self.default_dataflow,
+                              pipelined=self.default_pipelined,
+                              default_peak=peak_macs_per_second)
+
+    def simulate(self, spec: RunSpec) -> RunResult:
+        _check_attention_mode(spec, "taylor", self.name)
+        accelerator = self._accelerator(spec)
+        workload = spec.workload()
+        result = accelerator.run_model(workload, include_linear=spec.include_linear)
+        layers = _layer_records(result, workload, spec.include_linear)
+        breakdown = _table5_breakdown(layers)
+        return _batch_scaled(spec, result, breakdown, layers, self.name)
+
+
+class SangerTarget:
+    """The Sanger sparse-attention accelerator baseline (MICRO 2021)."""
+
+    def __init__(self, name: str = "sanger"):
+        self.name = name
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        accelerator = SangerAccelerator()
+        return accelerator.config.re_pe_array.lanes * accelerator.config.frequency_hz
+
+    def simulate(self, spec: RunSpec) -> RunResult:
+        _check_attention_mode(spec, "vanilla", self.name)
+        _reject_unsupported(spec, self.name, "dataflow", "pipelined", "scale_to_peak")
+        accelerator = SangerAccelerator()
+        workload = spec.workload()
+        result = accelerator.run_model(workload, include_linear=spec.include_linear)
+        breakdown = {"attention": result.attention_energy, "linear": result.linear_energy}
+        layers = _layer_records(result, workload, spec.include_linear)
+        return _batch_scaled(spec, result, breakdown, layers, self.name)
+
+
+class SALOTarget:
+    """The SALO window-attention accelerator under the ViTALiTy budget.
+
+    SALO models only the attention module, so ``linear_latency`` is always
+    zero regardless of ``include_linear``.
+    """
+
+    def __init__(self, name: str = "salo"):
+        self.name = name
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        accelerator = SALOAccelerator()
+        return accelerator.budget.sa_general.lanes * accelerator.budget.frequency_hz
+
+    def canonical_spec(self, spec: RunSpec) -> RunSpec:
+        """``include_linear`` is a no-op here (SALO models attention only)."""
+
+        if not spec.include_linear:
+            spec = replace(spec, include_linear=True)
+        return spec
+
+    def simulate(self, spec: RunSpec) -> RunResult:
+        _check_attention_mode(spec, "vanilla", self.name)
+        _reject_unsupported(spec, self.name, "dataflow", "pipelined", "scale_to_peak")
+        accelerator = SALOAccelerator()
+        workload = spec.workload()
+        result = accelerator.run_model(workload)
+        breakdown = {"attention": result.attention_energy, "linear": 0.0}
+        layers = _layer_records(result, workload, include_linear=False)
+        return _batch_scaled(spec, result, breakdown, layers, self.name)
+
+
+class PlatformTarget:
+    """An analytic general-purpose platform (CPU / GPU / edge GPU / Pixel 3).
+
+    Platforms evaluate either attention formulation; the default is the
+    ``vanilla`` softmax attention (the paper's baseline configuration).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.platform = get_platform(name)
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        return self.platform.peak_macs_per_second
+
+    def canonical_spec(self, spec: RunSpec) -> RunSpec:
+        """An unset attention mode means the platform default, ``vanilla``."""
+
+        if spec.attention is None:
+            spec = replace(spec, attention="vanilla")
+        return spec
+
+    def simulate(self, spec: RunSpec) -> RunResult:
+        _reject_unsupported(spec, self.name, "dataflow", "pipelined", "scale_to_peak")
+        taylor = (spec.attention or "vanilla") == "taylor"
+        workload = spec.workload()
+        attention_latency = self.platform.attention_latency(workload, taylor=taylor)
+        linear_latency = self.platform.linear_latency(workload) if spec.include_linear else 0.0
+        if spec.include_linear:
+            end_to_end_latency = self.platform.end_to_end_latency(workload, taylor=taylor)
+            end_to_end_energy = self.platform.end_to_end_energy(workload, taylor=taylor)
+        else:
+            end_to_end_latency = attention_latency
+            end_to_end_energy = self.platform.attention_energy(workload, taylor=taylor)
+        power = self.platform.average_power_watts
+        profile = (self.platform.taylor_attention_profile(workload) if taylor
+                   else self.platform.vanilla_attention_profile(workload))
+        steps = tuple(
+            StepRecord(name, self.name, latency, latency * power)
+            for name, latency in profile.items()
+        )
+        layers = (LayerRecord(
+            name=f"{'taylor' if taylor else 'vanilla'}_attention_profile",
+            kind="profile", repeats=1, latency_seconds=attention_latency,
+            energy_joules=attention_latency * power, steps=steps),)
+        batch = spec.batch_size
+        return RunResult(
+            model=workload.name if spec.tokens is not None else spec.model,
+            target=self.name,
+            attention_latency=attention_latency * batch,
+            linear_latency=linear_latency * batch,
+            attention_energy=attention_latency * power * batch,
+            linear_energy=linear_latency * power * batch,
+            end_to_end_latency=end_to_end_latency * batch,
+            end_to_end_energy=end_to_end_energy * batch,
+            energy_breakdown=(("attention", attention_latency * power * batch),
+                              ("linear", linear_latency * power * batch)),
+            layers=layers,
+        )
+
+
+# ---------------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------------
+
+_TARGETS: dict[str, Target] = {}
+
+
+def register_target(target: Target, replace: bool = False) -> Target:
+    """Register a target under its ``name`` (``replace=True`` to override).
+
+    Replacing a target evicts its memoised results from the default cache so
+    the new backend cannot be shadowed by its predecessor's numbers.
+    (Privately held :class:`~repro.engine.ResultCache` instances must be
+    invalidated by their owners.)
+    """
+
+    if target.name in _TARGETS:
+        if not replace:
+            raise ValueError(f"target {target.name!r} is already registered")
+        from repro.engine.cache import DEFAULT_CACHE
+        DEFAULT_CACHE.invalidate_target(target.name)
+    _TARGETS[target.name] = target
+    return target
+
+
+def get_target(name: str) -> Target:
+    """Look up a registered target by name."""
+
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise UnknownTargetError(
+            f"unknown target {name!r}; available: {', '.join(list_targets())}"
+        ) from None
+
+
+def list_targets() -> list[str]:
+    """Names of every registered target, in registration order."""
+
+    return list(_TARGETS)
+
+
+register_target(VitalityTarget("vitality"))
+register_target(VitalityTarget("vitality-gstationary", dataflow=Dataflow.G_STATIONARY))
+register_target(VitalityTarget("vitality-unpipelined", pipelined=False))
+register_target(SangerTarget())
+register_target(SALOTarget())
+register_target(PlatformTarget("cpu"))
+register_target(PlatformTarget("edge_gpu"))
+register_target(PlatformTarget("gpu"))
+register_target(PlatformTarget("pixel3"))

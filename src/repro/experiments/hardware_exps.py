@@ -1,18 +1,21 @@
-"""Hardware experiments: Figs. 11-12, Tables III/V/VI and the SALO comparison."""
+"""Hardware experiments: Figs. 11-12, Tables III/V/VI and the SALO comparison.
+
+Every simulation here routes through :mod:`repro.engine` — experiments only
+declare *what* to run (:class:`~repro.engine.RunSpec`) and compute ratios on
+the uniform :class:`~repro.engine.RunResult`; the engine owns target
+construction, peak scaling and result memoisation.  Tables III and VI read
+static configuration inventories and need no simulation.
+"""
 
 from __future__ import annotations
 
+from repro.engine import RunSpec, get_target, simulate
 from repro.hardware import (
-    Dataflow,
-    SALOAccelerator,
-    SangerAccelerator,
     SangerAcceleratorConfig,
-    ViTALiTyAccelerator,
     ViTALiTyAcceleratorConfig,
-    get_platform,
     linear_attention_processor_requirements,
 )
-from repro.workloads import get_workload, list_workloads
+from repro.workloads import list_workloads
 
 #: Paper-reported average speedups / energy-efficiency gains (for EXPERIMENTS.md).
 PAPER_FIG11_AVERAGE = {"gpu": 2.0, "sanger": 3.0, "edge_gpu": 30.0, "cpu": 53.0}
@@ -20,12 +23,43 @@ PAPER_FIG12_AVERAGE = {"sanger": 3.0, "gpu": 73.0, "edge_gpu": 67.0, "cpu": 115.
 PAPER_ATTENTION_SPEEDUP = {"cpu": 236.0, "edge_gpu": 239.0, "gpu": 9.0, "sanger": 7.0}
 PAPER_ATTENTION_ENERGY = {"cpu": 537.0, "edge_gpu": 309.0, "gpu": 187.0, "sanger": 6.0}
 
+#: General-purpose platform baselines of Figs. 11-12.
+PLATFORM_BASELINES = ("cpu", "edge_gpu", "gpu")
 
-def _vitality_result(model: str, peak_macs: float | None = None):
-    accelerator = ViTALiTyAccelerator()
-    if peak_macs is not None and peak_macs > accelerator.peak_macs_per_second:
-        accelerator = accelerator.scaled_to_peak(peak_macs)
-    return accelerator.run_model(get_workload(model))
+
+def _fig11_12_rows(models: tuple[str, ...] | None,
+                   latency: bool) -> dict[str, dict[str, float]]:
+    """Shared Fig. 11 (latency) / Fig. 12 (energy) structure.
+
+    For each model, ViTALiTy is compared end-to-end and attention-only
+    against Sanger as-is, and against each platform with its PE array scaled
+    to the platform's peak throughput (the paper's comparison methodology).
+    """
+
+    def _end_to_end(result):
+        return result.end_to_end_latency if latency else result.end_to_end_energy
+
+    def _attention(result):
+        return result.attention_latency if latency else result.attention_energy
+
+    models = models or tuple(list_workloads())
+    rows: dict[str, dict[str, float]] = {}
+    for model in models:
+        own = simulate(RunSpec(model, target="vitality"))
+        sanger = simulate(RunSpec(model, target="sanger"))
+        row = {
+            "sanger": _end_to_end(sanger) / _end_to_end(own),
+            "attention_sanger": _attention(sanger) / _attention(own),
+        }
+        for platform_name in PLATFORM_BASELINES:
+            platform = simulate(RunSpec(model, target=platform_name))
+            scaled = simulate(RunSpec(
+                model, target="vitality",
+                scale_to_peak=get_target(platform_name).peak_macs_per_second))
+            row[platform_name] = _end_to_end(platform) / _end_to_end(scaled)
+            row[f"attention_{platform_name}"] = _attention(platform) / _attention(scaled)
+        rows[model] = row
+    return rows
 
 
 def fig11_latency_speedup(models: tuple[str, ...] | None = None) -> dict[str, dict[str, float]]:
@@ -36,51 +70,13 @@ def fig11_latency_speedup(models: tuple[str, ...] | None = None) -> dict[str, di
     for the attention-only speedups quoted in the text.
     """
 
-    models = models or tuple(list_workloads())
-    sanger = SangerAccelerator()
-    rows: dict[str, dict[str, float]] = {}
-    for model in models:
-        workload = get_workload(model)
-        own = _vitality_result(model)
-        sanger_result = sanger.run_model(workload)
-        row = {
-            "sanger": sanger_result.end_to_end_latency / own.end_to_end_latency,
-            "attention_sanger": sanger_result.attention_latency / own.attention_latency,
-        }
-        for platform_name in ("cpu", "edge_gpu", "gpu"):
-            platform = get_platform(platform_name)
-            scaled = _vitality_result(model, peak_macs=platform.peak_macs_per_second)
-            row[platform_name] = (platform.end_to_end_latency(workload)
-                                  / scaled.end_to_end_latency)
-            row[f"attention_{platform_name}"] = (platform.attention_latency(workload)
-                                                 / scaled.attention_latency)
-        rows[model] = row
-    return rows
+    return _fig11_12_rows(models, latency=True)
 
 
 def fig12_energy_efficiency(models: tuple[str, ...] | None = None) -> dict[str, dict[str, float]]:
     """Fig. 12: end-to-end (and attention-only) energy-efficiency improvement."""
 
-    models = models or tuple(list_workloads())
-    sanger = SangerAccelerator()
-    rows: dict[str, dict[str, float]] = {}
-    for model in models:
-        workload = get_workload(model)
-        own = _vitality_result(model)
-        sanger_result = sanger.run_model(workload)
-        row = {
-            "sanger": sanger_result.end_to_end_energy / own.end_to_end_energy,
-            "attention_sanger": sanger_result.attention_energy / own.attention_energy,
-        }
-        for platform_name in ("cpu", "edge_gpu", "gpu"):
-            platform = get_platform(platform_name)
-            scaled = _vitality_result(model, peak_macs=platform.peak_macs_per_second)
-            row[platform_name] = (platform.end_to_end_energy(workload)
-                                  / scaled.end_to_end_energy)
-            row[f"attention_{platform_name}"] = (platform.attention_energy(workload)
-                                                 / scaled.attention_energy)
-        rows[model] = row
-    return rows
+    return _fig11_12_rows(models, latency=False)
 
 
 def table3_configurations() -> dict[str, dict[str, float]]:
@@ -111,16 +107,15 @@ def table5_dataflow_energy(models: tuple[str, ...] = ("deit-base", "mobilevit-xx
 
     rows: dict[str, dict[str, dict[str, float]]] = {}
     for model in models:
-        workload = get_workload(model)
         per_dataflow: dict[str, dict[str, float]] = {}
-        for dataflow in (Dataflow.G_STATIONARY, Dataflow.DOWN_FORWARD):
-            accelerator = ViTALiTyAccelerator(dataflow=dataflow)
-            breakdown = accelerator.attention_energy_breakdown(workload)
-            per_dataflow[dataflow.value] = {
-                "data_access_uj": breakdown.data_access * 1e6,
-                "other_processors_uj": breakdown.other_processors * 1e6,
-                "systolic_array_uj": breakdown.systolic_array * 1e6,
-                "overall_uj": breakdown.overall * 1e6,
+        for dataflow in ("g_stationary", "down_forward"):
+            result = simulate(RunSpec(model, target="vitality", dataflow=dataflow))
+            breakdown = result.breakdown()
+            per_dataflow[dataflow] = {
+                "data_access_uj": breakdown["data_access"] * 1e6,
+                "other_processors_uj": breakdown["other_processors"] * 1e6,
+                "systolic_array_uj": breakdown["systolic_array"] * 1e6,
+                "overall_uj": sum(breakdown.values()) * 1e6,
             }
         rows[model] = per_dataflow
     return rows
@@ -144,12 +139,10 @@ def table6_extension() -> dict[str, dict[str, object]]:
 def salo_comparison(models: tuple[str, ...] = ("deit-tiny", "deit-small")) -> dict[str, float]:
     """Section V-C: attention speedup of ViTALiTy over SALO under the same budget."""
 
-    salo = SALOAccelerator()
     speedups: dict[str, float] = {}
     for model in models:
-        workload = get_workload(model)
-        own = ViTALiTyAccelerator().run_model(workload, include_linear=False)
-        other = salo.run_model(workload)
+        own = simulate(RunSpec(model, target="vitality", include_linear=False))
+        other = simulate(RunSpec(model, target="salo"))
         speedups[model] = other.attention_latency / own.attention_latency
     return speedups
 
@@ -157,9 +150,8 @@ def salo_comparison(models: tuple[str, ...] = ("deit-tiny", "deit-small")) -> di
 def pipeline_ablation(model: str = "deit-tiny") -> dict[str, float]:
     """Design-choice ablation: intra-layer pipelining on vs off."""
 
-    workload = get_workload(model)
-    pipelined = ViTALiTyAccelerator(pipelined=True).run_model(workload, include_linear=False)
-    sequential = ViTALiTyAccelerator(pipelined=False).run_model(workload, include_linear=False)
+    pipelined = simulate(RunSpec(model, target="vitality", include_linear=False))
+    sequential = simulate(RunSpec(model, target="vitality-unpipelined", include_linear=False))
     return {
         "pipelined_attention_ms": pipelined.attention_latency * 1e3,
         "sequential_attention_ms": sequential.attention_latency * 1e3,

@@ -1,8 +1,15 @@
-"""Profiling experiments: Fig. 1 runtime breakdown and Table II step profiles."""
+"""Profiling experiments: Fig. 1 runtime breakdown and Table II step profiles.
+
+Table II routes through :mod:`repro.engine`: each (model, formulation) cell
+is one platform :class:`~repro.engine.RunSpec` whose per-step records supply
+the latency columns.  Fig. 1 is a runtime-share profile (fractions of the MHA
+module, not a simulation run) and keeps using the profiling facade.
+"""
 
 from __future__ import annotations
 
-from repro.profiling.breakdown import mha_runtime_breakdown_table, table2_rows
+from repro.engine import RunSpec, simulate
+from repro.profiling.breakdown import mha_runtime_breakdown_table
 
 #: Fig. 1 values from the paper: share of MHA runtime per step and platform.
 PAPER_FIG1 = {
@@ -25,8 +32,36 @@ def fig1_runtime_breakdown(model: str = "deit-tiny") -> dict[str, dict[str, floa
     return mha_runtime_breakdown_table(model)
 
 
-def table2_latency_profile(models: tuple[str, ...] = ("deit-tiny", "mobilevit-xs", "levit-128")
-                           ) -> list[dict[str, object]]:
+def _step_columns(model: str, formulation: str, platform: str) -> dict[str, object]:
+    """Per-step latency columns of one attention formulation, via the engine."""
+
+    result = simulate(RunSpec(model, target=platform, attention=formulation,
+                              include_linear=False))
+    steps = {step.name: step.latency_seconds for step in result.layers[0].steps}
+    total = result.attention_latency
+    return {
+        "ms": {name: latency * 1e3 for name, latency in steps.items()},
+        "total_ms": total * 1e3,
+        "ratios": {name: latency / total for name, latency in steps.items()},
+    }
+
+
+def table2_latency_profile(models: tuple[str, ...] = ("deit-tiny", "mobilevit-xs", "levit-128"),
+                           platform: str = "edge_gpu") -> list[dict[str, object]]:
     """Table II: per-step latency of Taylor vs vanilla attention on the edge GPU."""
 
-    return table2_rows(models)
+    rows = []
+    for model in models:
+        taylor = _step_columns(model, "taylor", platform)
+        vanilla = _step_columns(model, "vanilla", platform)
+        rows.append({
+            "model": model,
+            "platform": platform,
+            "taylor_ms": taylor["ms"],
+            "taylor_total_ms": taylor["total_ms"],
+            "taylor_ratios": taylor["ratios"],
+            "vanilla_ms": vanilla["ms"],
+            "vanilla_total_ms": vanilla["total_ms"],
+            "vanilla_ratios": vanilla["ratios"],
+        })
+    return rows

@@ -28,7 +28,7 @@ from repro.hardware.config import (
 from repro.hardware.common import StepResult, LayerResult, ModelResult, Dataflow
 from repro.hardware.systolic import SystolicArray, matmul_cycles
 from repro.hardware.processors import AccumulatorArray, AdderArray, DividerArray
-from repro.hardware.pipeline import pipeline_latency, sequential_latency
+from repro.hardware.pipeline import pipeline_latency, pipeline_speedup, sequential_latency
 from repro.hardware.accelerator import ViTALiTyAccelerator
 from repro.hardware.sanger import SangerAccelerator
 from repro.hardware.salo import SALOAccelerator
@@ -51,6 +51,7 @@ __all__ = [
     "AdderArray",
     "DividerArray",
     "pipeline_latency",
+    "pipeline_speedup",
     "sequential_latency",
     "ViTALiTyAccelerator",
     "SangerAccelerator",

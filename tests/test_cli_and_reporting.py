@@ -84,6 +84,61 @@ class TestCLI:
         payload = json.loads(capsys.readouterr().out)
         assert payload["latency_speedup"]["sanger"] > 1.0
 
+    def test_accelerate_baseline_subset(self, capsys):
+        assert main(["accelerate", "deit-tiny", "--baseline", "sanger", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["latency_speedup"]) == {"sanger", "attention_sanger"}
+
+    def test_accelerate_unknown_model_clean_error(self, capsys):
+        assert main(["accelerate", "not-a-model"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_accelerate_unknown_baseline_clean_error(self, capsys):
+        assert main(["accelerate", "deit-tiny", "--baseline", "tpu"]) == 2
+        error = capsys.readouterr().err
+        assert "unknown target" in error
+        assert "vitality" in error    # the error lists what IS available
+
+    def test_simulate_command_json(self, capsys):
+        assert main(["simulate", "deit-tiny", "--target", "sanger", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "deit-tiny"
+        assert payload["target"] == "sanger"
+        assert payload["end_to_end_latency"] > 0
+
+    def test_simulate_unknown_target(self, capsys):
+        assert main(["simulate", "deit-tiny", "--target", "abacus"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_simulate_unknown_model(self, capsys):
+        assert main(["simulate", "vgg16"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_simulate_markdown_output(self, capsys):
+        assert main(["simulate", "deit-tiny", "--attention-only"]) == 0
+        assert "end_to_end_latency_ms" in capsys.readouterr().out
+
+    def test_sweep_command_json(self, capsys):
+        assert main(["sweep", "--models", "deit-tiny", "--targets", "vitality,sanger",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+        assert {run["spec"]["target"] for run in payload["runs"]} == {"vitality", "sanger"}
+
+    def test_sweep_command_markdown_reports_cache(self, capsys):
+        assert main(["sweep", "--models", "deit-tiny", "--targets", "salo"]) == 0
+        output = capsys.readouterr().out
+        assert "| model |" in output
+        assert "cache:" in output
+
+    def test_sweep_unknown_target(self, capsys):
+        assert main(["sweep", "--models", "deit-tiny", "--targets", "tpu"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_sweep_unknown_model(self, capsys):
+        assert main(["sweep", "--models", "resnet", "--targets", "vitality"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

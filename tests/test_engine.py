@@ -1,0 +1,381 @@
+"""Tests for the unified simulation engine: specs, targets, cache, sweeps."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ResultCache,
+    RunSpec,
+    Sweep,
+    UnknownTargetError,
+    VitalityTarget,
+    get_target,
+    list_targets,
+    scale_workload_tokens,
+    simulate,
+    sweep,
+)
+from repro.hardware import (
+    SangerAccelerator,
+    StepResult,
+    ViTALiTyAccelerator,
+    get_platform,
+    pipeline_latency,
+    pipeline_speedup,
+    sequential_latency,
+)
+from repro.workloads import get_workload, list_workloads
+
+
+class TestPipelineEdgeCases:
+    def test_empty_step_list(self):
+        assert pipeline_latency([]) == 0
+        assert sequential_latency([]) == 0
+        assert pipeline_speedup([]) == 1.0
+
+    def test_single_chunk_no_overlap(self):
+        steps = [StepResult("a", "systolic", 40, 0.0), StepResult("b", "systolic", 60, 0.0)]
+        assert pipeline_latency(steps) == sequential_latency(steps) == 100
+        assert pipeline_speedup(steps) == 1.0
+
+    def test_single_step(self):
+        steps = [StepResult("only", "adder", 7, 0.0)]
+        assert pipeline_latency(steps) == 7
+        assert pipeline_speedup(steps) == 1.0
+
+    def test_tie_between_chunks(self):
+        """Two chunks with equal busy time: either is dominant, the other is
+        the fill overhead, so the pipelined latency equals the sequential one."""
+
+        steps = [StepResult("a", "systolic", 50, 0.0), StepResult("b", "adder", 50, 0.0)]
+        assert pipeline_latency(steps) == 100 == sequential_latency(steps)
+        assert pipeline_speedup(steps) == 1.0
+
+    def test_three_way_tie_still_bounded_by_sequential(self):
+        steps = [StepResult("a", "x", 30, 0.0), StepResult("b", "y", 30, 0.0),
+                 StepResult("c", "z", 30, 0.0)]
+        assert pipeline_latency(steps) == 60
+        assert pipeline_latency(steps) <= sequential_latency(steps)
+        assert pipeline_speedup(steps) == pytest.approx(1.5)
+
+    def test_zero_cycle_steps(self):
+        steps = [StepResult("a", "systolic", 100, 0.0), StepResult("m", "memory", 0, 0.0)]
+        assert pipeline_latency(steps) == 100
+        assert pipeline_speedup(steps) == 1.0
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        a = RunSpec("deit-tiny", target="sanger")
+        b = RunSpec("deit-tiny", target="sanger")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_options_hash_differently(self):
+        specs = {
+            RunSpec("deit-tiny"),
+            RunSpec("deit-tiny", include_linear=False),
+            RunSpec("deit-tiny", batch_size=2),
+            RunSpec("deit-tiny", dataflow="g_stationary"),
+        }
+        assert len(specs) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec("deit-tiny", batch_size=0)
+        with pytest.raises(ValueError):
+            RunSpec("deit-tiny", tokens=0)
+        with pytest.raises(ValueError):
+            RunSpec("deit-tiny", dataflow="sideways")
+        with pytest.raises(ValueError):
+            RunSpec("deit-tiny", attention="softermax")
+        with pytest.raises(ValueError):
+            RunSpec("deit-tiny", scale_to_peak=-1.0)
+        with pytest.raises(ValueError):
+            RunSpec("")
+
+    def test_to_dict_round_trip(self):
+        spec = RunSpec("levit-128", target="salo", include_linear=False)
+        assert RunSpec(**spec.to_dict()) == spec
+
+    def test_token_scaling_preserves_stage_structure(self):
+        workload = get_workload("levit-128")
+        scaled = scale_workload_tokens(workload, 392)
+        assert len(scaled.attention_layers) == len(workload.attention_layers)
+        assert max(s.tokens for s in scaled.attention_layers) == 392
+        # LeViT's shrinking blocks keep kv_tokens > tokens after scaling.
+        shrink = scaled.attention_layers[-1]
+        assert shrink.kv_tokens > shrink.tokens
+
+    def test_token_scaling_identity(self):
+        workload = get_workload("deit-tiny")
+        assert scale_workload_tokens(workload, 197) is workload
+
+
+class TestTargetRegistry:
+    def test_expected_targets_registered(self):
+        names = list_targets()
+        for required in ("vitality", "vitality-gstationary", "vitality-unpipelined",
+                         "sanger", "salo", "cpu", "edge_gpu", "gpu"):
+            assert required in names
+
+    def test_unknown_target_error_lists_available(self):
+        with pytest.raises(UnknownTargetError, match="vitality"):
+            get_target("tpu")
+
+    def test_peaks_positive(self):
+        for name in list_targets():
+            assert get_target(name).peak_macs_per_second > 0
+
+    def test_platform_peak_matches_platform_model(self):
+        assert (get_target("gpu").peak_macs_per_second
+                == get_platform("gpu").peak_macs_per_second)
+
+    def test_native_attention_mode_enforced(self):
+        with pytest.raises(ValueError, match="native"):
+            simulate(RunSpec("deit-tiny", target="vitality", attention="vanilla"),
+                     cache=ResultCache())
+        with pytest.raises(ValueError, match="native"):
+            simulate(RunSpec("deit-tiny", target="sanger", attention="taylor"),
+                     cache=ResultCache())
+
+    def test_scaled_to_peak_variant(self):
+        base = VitalityTarget("vitality-test")
+        scaled = base.scaled_to_peak(base.peak_macs_per_second * 3)
+        fast = scaled.simulate(RunSpec("deit-tiny"))
+        slow = base.simulate(RunSpec("deit-tiny"))
+        assert fast.end_to_end_latency < slow.end_to_end_latency
+
+    def test_unsupported_options_rejected_not_ignored(self):
+        """Baseline/platform targets must fail loudly on options they cannot
+        honor rather than returning unmodified numbers."""
+
+        for target in ("sanger", "salo", "gpu"):
+            with pytest.raises(ValueError, match="does not support"):
+                simulate(RunSpec("deit-tiny", target=target, scale_to_peak=1e15),
+                         cache=ResultCache())
+            with pytest.raises(ValueError, match="does not support"):
+                simulate(RunSpec("deit-tiny", target=target, dataflow="g_stationary"),
+                         cache=ResultCache())
+
+    def test_replacing_target_evicts_its_cached_results(self):
+        from repro.engine import DEFAULT_CACHE, register_target
+
+        original = get_target("salo")
+        spec = RunSpec("deit-tiny", target="salo")
+        try:
+            stale = simulate(spec)
+            assert spec in DEFAULT_CACHE
+
+            class Doubled:
+                name = "salo"
+                peak_macs_per_second = original.peak_macs_per_second
+
+                def simulate(self, spec):
+                    result = original.simulate(spec)
+                    return type(result)(**{**result.__dict__,
+                                           "attention_latency": result.attention_latency * 2})
+
+            register_target(Doubled(), replace=True)
+            assert spec not in DEFAULT_CACHE
+            fresh = simulate(spec)
+            assert fresh.attention_latency == 2 * stale.attention_latency
+        finally:
+            register_target(original, replace=True)
+
+
+class TestEngineMatchesHardwareModels:
+    """The engine is a facade: its numbers are the hardware models' numbers."""
+
+    def test_vitality_run_matches_direct_accelerator(self):
+        workload = get_workload("deit-tiny")
+        direct = ViTALiTyAccelerator().run_model(workload)
+        engine = simulate(RunSpec("deit-tiny", target="vitality"), cache=ResultCache())
+        assert engine.attention_latency == direct.attention_latency
+        assert engine.end_to_end_latency == direct.end_to_end_latency
+        assert engine.end_to_end_energy == direct.end_to_end_energy
+
+    def test_sanger_run_matches_direct_accelerator(self):
+        workload = get_workload("levit-128")
+        direct = SangerAccelerator().run_model(workload)
+        engine = simulate(RunSpec("levit-128", target="sanger"), cache=ResultCache())
+        assert engine.attention_latency == direct.attention_latency
+        assert engine.end_to_end_energy == direct.end_to_end_energy
+
+    def test_platform_run_matches_direct_platform(self):
+        workload = get_workload("deit-tiny")
+        platform = get_platform("edge_gpu")
+        engine = simulate(RunSpec("deit-tiny", target="edge_gpu"), cache=ResultCache())
+        assert engine.end_to_end_latency == platform.end_to_end_latency(workload)
+        assert engine.end_to_end_energy == platform.end_to_end_energy(workload)
+
+    def test_vitality_breakdown_matches_table5_method(self):
+        workload = get_workload("deit-base")
+        direct = ViTALiTyAccelerator().attention_energy_breakdown(workload)
+        engine = simulate(RunSpec("deit-base", target="vitality"), cache=ResultCache())
+        breakdown = engine.breakdown()
+        assert breakdown["data_access"] == direct.data_access
+        assert breakdown["systolic_array"] == direct.systolic_array
+
+    def test_variant_targets_match_spec_overrides(self):
+        cache = ResultCache()
+        via_variant = simulate(RunSpec("deit-tiny", target="vitality-unpipelined",
+                                       include_linear=False), cache=cache)
+        via_override = simulate(RunSpec("deit-tiny", target="vitality", pipelined=False,
+                                        include_linear=False), cache=cache)
+        assert via_variant.attention_latency == via_override.attention_latency
+
+
+class TestResultCache:
+    def test_same_spec_simulated_once(self):
+        cache = ResultCache()
+        calls = []
+
+        def runner(spec):
+            calls.append(spec)
+            return simulate(spec, cache=ResultCache())
+
+        spec = RunSpec("deit-tiny", target="salo")
+        first = cache.get_or_run(spec, runner)
+        second = cache.get_or_run(spec, runner)
+        assert len(calls) == 1
+        assert first is second
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_noop_options_share_one_cache_entry(self):
+        """Options a target provably ignores must not fork the cache."""
+
+        cache = ResultCache()
+        # vitality: scaling to a peak below the native one is a no-op.
+        native_peak = get_target("vitality").peak_macs_per_second
+        simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        simulate(RunSpec("deit-tiny", target="vitality", scale_to_peak=native_peak / 2),
+                 cache=cache)
+        # salo models attention only, so include_linear is a no-op.
+        simulate(RunSpec("deit-tiny", target="salo"), cache=cache)
+        simulate(RunSpec("deit-tiny", target="salo", include_linear=False), cache=cache)
+        # platforms: attention=None means vanilla.
+        simulate(RunSpec("deit-tiny", target="cpu"), cache=cache)
+        simulate(RunSpec("deit-tiny", target="cpu", attention="vanilla"), cache=cache)
+        stats = cache.stats()
+        assert (stats.misses, stats.hits) == (3, 3)
+
+    def test_simulate_uses_cache(self):
+        cache = ResultCache()
+        spec = RunSpec("deit-tiny", target="vitality", include_linear=False)
+        simulate(spec, cache=cache)
+        simulate(spec, cache=cache)
+        simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert 0 < stats.hit_rate < 1
+
+    def test_clear(self):
+        cache = ResultCache()
+        simulate(RunSpec("deit-tiny", target="salo"), cache=cache)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 0
+
+    def test_kwargs_form(self):
+        cache = ResultCache()
+        result = simulate("deit-tiny", target="salo", cache=cache)
+        assert result.target == "salo"
+        with pytest.raises(TypeError):
+            simulate(RunSpec("deit-tiny"), target="salo", cache=cache)
+
+
+class TestSweep:
+    def test_explicit_empty_models_yields_empty_sweep(self):
+        """An explicitly empty model selection must not fan out to all models."""
+
+        outcome = Sweep().models().targets("vitality").run(cache=ResultCache())
+        assert outcome.results == ()
+
+    def test_cross_product_expansion(self):
+        specs = list(Sweep().models("deit-tiny", "levit-128")
+                     .targets("vitality", "sanger").expand())
+        assert len(specs) == 4
+        assert {(s.model, s.target) for s in specs} == {
+            ("deit-tiny", "vitality"), ("deit-tiny", "sanger"),
+            ("levit-128", "vitality"), ("levit-128", "sanger"),
+        }
+
+    def test_all_models_times_two_targets_hits_cache_on_second_pass(self):
+        """The acceptance scenario: 7 models x 2 targets, second pass all hits."""
+
+        cache = ResultCache()
+        builder = Sweep().all_models().targets("vitality", "sanger")
+        first = builder.run(cache=cache)
+        expected = len(list_workloads()) * 2
+        assert len(first.results) == expected
+        assert (first.misses, first.hits) == (expected, 0)
+        second = builder.run(cache=cache)
+        assert (second.misses, second.hits) == (0, expected)
+        assert [r.end_to_end_latency for r in second.results] == \
+               [r.end_to_end_latency for r in first.results]
+
+    def test_rows_and_dict(self):
+        outcome = Sweep().models("deit-tiny").targets("salo").run(cache=ResultCache())
+        rows = outcome.to_rows()
+        assert rows[0]["model"] == "deit-tiny"
+        assert rows[0]["target"] == "salo"
+        payload = outcome.to_dict()
+        assert payload["cache"]["misses"] == 1
+
+    def test_convenience_function(self):
+        outcome = sweep(["deit-tiny"], ["vitality", "salo"], cache=ResultCache(),
+                        include_linear=False)
+        assert len(outcome.results) == 2
+        assert all(r.linear_latency == 0.0 for r in outcome.results)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(TypeError):
+            sweep(["deit-tiny"], ["vitality"], cache=ResultCache(), colour=["red"])
+        # Sweep method names that are not axes must not be invocable either.
+        with pytest.raises(TypeError):
+            sweep(["deit-tiny"], ["vitality"], cache=ResultCache(), run=[])
+
+
+class TestRunResult:
+    def test_batch_scales_linearly(self):
+        cache = ResultCache()
+        one = simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        four = simulate(RunSpec("deit-tiny", target="vitality", batch_size=4), cache=cache)
+        assert four.end_to_end_latency == pytest.approx(4 * one.end_to_end_latency)
+        assert four.end_to_end_energy == pytest.approx(4 * one.end_to_end_energy)
+
+    def test_token_override_increases_latency(self):
+        cache = ResultCache()
+        base = simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        longer = simulate(RunSpec("deit-tiny", target="vitality", tokens=788), cache=cache)
+        assert longer.end_to_end_latency > base.end_to_end_latency
+
+    def test_salo_has_no_linear_component(self):
+        result = simulate(RunSpec("deit-tiny", target="salo"), cache=ResultCache())
+        assert result.linear_latency == 0.0
+        assert result.end_to_end_latency == result.attention_latency
+
+    def test_layer_records_cover_workload(self):
+        workload = get_workload("deit-tiny")
+        result = simulate(RunSpec("deit-tiny", target="vitality"), cache=ResultCache())
+        expected = len(workload.attention_layers) + len(workload.linear_layers)
+        assert len(result.layers) == expected
+        attention = [layer for layer in result.layers if layer.kind == "attention"]
+        assert attention and all(layer.steps for layer in attention)
+
+    def test_json_serialisation(self):
+        result = simulate(RunSpec("deit-tiny", target="edge_gpu", attention="taylor",
+                                  include_linear=False), cache=ResultCache())
+        payload = json.loads(result.to_json(include_layers=True))
+        assert payload["target"] == "edge_gpu"
+        assert payload["end_to_end_latency"] == pytest.approx(result.end_to_end_latency)
+        step_names = [step["name"] for step in payload["layers"][0]["steps"]]
+        assert len(step_names) == 6   # the six Taylor-attention steps
