@@ -1,0 +1,30 @@
+"""Serving under load: sustained throughput of taylor vs vanilla fleets.
+
+Not a paper artifact — the fleet-level counterpart of Figs. 11-12: the same
+hardware models behind the discrete-event serving simulator, measured as a
+deployment would see them (sustained throughput, tail latency, SLO
+attainment, energy per request under identical traffic).
+"""
+
+from repro.experiments.serving_exps import serving_comparison, serving_fleet_study
+
+
+def test_serving_throughput(benchmark, report):
+    rows = benchmark(serving_comparison)
+    report("Serving comparison — taylor vs vanilla fleets, identical traffic", rows)
+    for pair in ("accelerator", "cpu_platform"):
+        taylor, vanilla = (row for label, row in rows.items()
+                           if label.startswith(pair))
+        # The taylor fleet sustains more load and does it cheaper per request.
+        assert taylor["throughput_rps"] > vanilla["throughput_rps"], pair
+        assert taylor["energy_per_request_mj"] < vanilla["energy_per_request_mj"], pair
+        assert taylor["p99_ms"] < vanilla["p99_ms"], pair
+
+
+def test_energy_aware_routing(benchmark, report):
+    rows = benchmark(serving_fleet_study)
+    report("Heterogeneous fleet — least-loaded vs energy-aware routing", rows)
+    assert (rows["energy-aware"]["energy_per_request_mj"]
+            < rows["least-loaded"]["energy_per_request_mj"])
+    assert (rows["energy-aware"]["gpu_request_share"]
+            < rows["least-loaded"]["gpu_request_share"])

@@ -1,0 +1,78 @@
+"""Walk through the serving simulator: traffic, batching, fleets, routing.
+
+Three acts, all deterministic under the fixed seed:
+
+1. one fleet under the same Poisson traffic with each batching policy —
+   no-batching vs size-triggered vs timeout batching is a latency/throughput
+   trade, and strict size triggers show their unbounded-tail failure mode;
+2. the acceptance scenario: a Taylor-attention accelerator fleet vs a
+   vanilla-attention fleet under identical saturating traffic;
+3. a heterogeneous fleet under bursty traffic, least-loaded vs energy-aware
+   routing, with the engine result-cache traffic that makes long runs cheap.
+
+Run with:  python examples/serving_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.serve import (
+    BurstyTraffic,
+    Fleet,
+    PoissonTraffic,
+    WorkloadMix,
+    compare,
+    serve,
+)
+
+MIX = WorkloadMix.of(["deit-tiny", "levit-128"], weights=[3.0, 1.0])
+
+
+def show(label: str, report) -> None:
+    print(f"  {label:28s} {report.throughput_rps:7.1f} rps   "
+          f"p50 {report.latency.p50 * 1e3:8.2f} ms   "
+          f"p99 {report.latency.p99 * 1e3:8.2f} ms   "
+          f"batch {report.mean_batch_size:4.2f}   "
+          f"SLO viol {report.slo_violation_rate:5.1%}   "
+          f"{report.energy_per_request_joules * 1e3:6.2f} mJ/req")
+
+
+def main() -> None:
+    print("1. Batching policies — 2x ViTALiTy, Poisson 200 req/s, mixed workloads")
+    traffic = PoissonTraffic(rate=200.0, mix=MIX)
+    for policy in ("fifo", "size", "timeout"):
+        report = serve(traffic, "2xvitality", policy=policy, duration=4.0, seed=0)
+        show(policy, report)
+    print("   (strict size-8 batching waits forever for stragglers below "
+          "saturation — the tail the timeout window bounds)\n")
+
+    print("2. Taylor vs vanilla attention fleets — identical Poisson 600 req/s")
+    saturating = PoissonTraffic(rate=600.0, mix=WorkloadMix.of(["deit-tiny"]))
+    reports = compare(saturating,
+                      {"taylor (2xvitality)": "2xvitality",
+                       "vanilla (2xsanger)": "2xsanger"},
+                      policy="timeout", duration=4.0, seed=0,
+                      models=["deit-tiny"])
+    for label, report in reports.items():
+        show(label, report)
+    print("   (the vanilla fleet saturates below the offered load; the "
+          "Taylor fleet sustains it)\n")
+
+    print("3. Routing a heterogeneous fleet — 2x ViTALiTy + 1x GPU, bursty traffic")
+    bursty = BurstyTraffic(rate=400.0, mix=WorkloadMix.of(["deit-tiny"]))
+    fleet = Fleet.parse("2xvitality,1xgpu")
+    for router in ("least-loaded", "energy-aware"):
+        report = serve(bursty, fleet, policy="timeout", router=router,
+                       duration=4.0, seed=0)
+        show(router, report)
+        gpu = [r for r in report.per_replica if r.target == "gpu"][0]
+        print(f"      GPU served {gpu.requests}/{report.completed} requests "
+              f"({gpu.energy_joules:.2f} J of {report.total_energy_joules:.2f} J total)")
+    cache = report.cache
+    print(f"\nEngine cache for the last run: {cache.hits} hits / "
+          f"{cache.misses} misses ({cache.hit_rate:.1%} hit rate, "
+          f"{cache.evictions} evictions under bound {cache.max_entries}) — "
+          f"every repeated (model, batch) shape simulated once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ Usage examples::
     python -m repro simulate deit-tiny --target sanger --json
     python -m repro sweep --models deit-tiny,levit-128 --targets vitality,sanger
     python -m repro accelerate deit-tiny      # accelerator vs baselines for one model
+    python -m repro serve --rate 200 --duration 5 --fleet 2xvitality --policy timeout
 """
 
 from __future__ import annotations
@@ -29,6 +30,15 @@ from repro.engine import (
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
+from repro.serve import (
+    BATCH_POLICIES,
+    ROUTERS,
+    TRAFFIC_PATTERNS,
+    make_policy,
+    make_router,
+    make_traffic,
+    serve,
+)
 from repro.workloads import list_workloads
 
 #: Baselines the ``accelerate`` command compares against by default.
@@ -77,6 +87,38 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--batch-sizes", default="1", help="comma-separated batch sizes")
     swp.add_argument("--attention-only", action="store_true")
     swp.add_argument("--json", action="store_true")
+
+    srv = subparsers.add_parser("serve",
+                                help="discrete-event inference-serving simulation")
+    srv.add_argument("--traffic", default="poisson", choices=TRAFFIC_PATTERNS,
+                     help="arrival pattern (default: poisson)")
+    srv.add_argument("--rate", type=float, default=100.0,
+                     help="mean (poisson/bursty) or peak (diurnal) arrivals per second")
+    srv.add_argument("--duration", type=float, default=10.0,
+                     help="length of the arrival window in seconds")
+    srv.add_argument("--models", default="deit-tiny",
+                     help="comma-separated workloads requests are drawn from")
+    srv.add_argument("--weights", default="",
+                     help="comma-separated mix weights matching --models")
+    srv.add_argument("--period", type=float, default=10.0,
+                     help="diurnal cycle length in seconds")
+    srv.add_argument("--trace", help="JSON file of [time, model] arrivals "
+                                     "for --traffic replay")
+    srv.add_argument("--fleet", default="2xvitality",
+                     help='replica spec, e.g. "2xvitality,1xgpu:taylor"')
+    srv.add_argument("--policy", default="timeout", choices=BATCH_POLICIES,
+                     help="batch-formation policy (default: timeout)")
+    srv.add_argument("--batch", type=int, default=8,
+                     help="target/max batch size for size and timeout batching")
+    srv.add_argument("--timeout-ms", type=float, default=2.0,
+                     help="batching window for the timeout policy")
+    srv.add_argument("--router", default="least-loaded", choices=ROUTERS)
+    srv.add_argument("--slo-ms", type=float, default=50.0,
+                     help="per-request latency SLO")
+    srv.add_argument("--overhead-ms", type=float, default=0.5,
+                     help="host-side dispatch overhead per batch")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--json", action="store_true")
 
     accelerate = subparsers.add_parser("accelerate",
                                        help="run the accelerator comparison for one model")
@@ -187,6 +229,56 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    models = _split_csv(arguments.models)
+    weights: tuple[float, ...] | None = None
+    if arguments.weights:
+        try:
+            weights = tuple(float(weight) for weight in _split_csv(arguments.weights))
+        except ValueError:
+            return _fail(f"--weights must be comma-separated numbers, "
+                         f"got {arguments.weights!r}")
+    trace = None
+    if arguments.traffic == "replay":
+        if not arguments.trace:
+            return _fail("--traffic replay requires --trace FILE")
+        try:
+            with open(arguments.trace) as handle:
+                trace = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            return _fail(f"cannot read trace {arguments.trace!r}: {error}")
+    try:
+        traffic = make_traffic(arguments.traffic, arguments.rate, models,
+                               weights, period=arguments.period, trace=trace)
+        report = serve(
+            traffic, arguments.fleet,
+            make_policy(arguments.policy, batch_size=arguments.batch,
+                        timeout=arguments.timeout_ms * 1e-3),
+            make_router(arguments.router),
+            duration=arguments.duration, seed=arguments.seed,
+            slo_seconds=arguments.slo_ms * 1e-3,
+            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3)
+    except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(report.to_json())
+        return 0
+    summary = {"fleet": report.config["fleet"], "policy": arguments.policy,
+               "router": arguments.router, **report.summary_row()}
+    print(markdown_table([summary]))
+    print()
+    print(markdown_table([replica.to_dict() for replica in report.per_replica],
+                         ["name", "requests", "batches", "utilization",
+                          "energy_joules"]))
+    cache = report.cache
+    print(f"\n{report.completed}/{report.offered} requests served in "
+          f"{report.makespan:.3f}s — engine cache: {cache.hits} hits, "
+          f"{cache.misses} misses, {cache.evictions} evictions "
+          f"(bound {cache.max_entries})")
+    return 0
+
+
 def _command_accelerate(arguments: argparse.Namespace) -> int:
     model = arguments.model
     baselines = _split_csv(arguments.baseline)
@@ -244,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_simulate(arguments)
     if arguments.command == "sweep":
         return _command_sweep(arguments)
+    if arguments.command == "serve":
+        return _command_serve(arguments)
     if arguments.command == "accelerate":
         return _command_accelerate(arguments)
     return 1

@@ -18,25 +18,43 @@ from repro.engine.spec import RunSpec
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one cache (a snapshot, not a live view)."""
+    """Hit/miss/eviction counters of one cache (a snapshot, not a live view)."""
 
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    max_entries: int | None = None
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> dict[str, object]:
+        return {"hits": self.hits, "misses": self.misses, "size": self.size,
+                "evictions": self.evictions, "max_entries": self.max_entries,
+                "hit_rate": self.hit_rate}
+
 
 class ResultCache:
-    """An in-memory memo table from :class:`RunSpec` to :class:`RunResult`."""
+    """An in-memory memo table from :class:`RunSpec` to :class:`RunResult`.
 
-    def __init__(self):
+    With ``max_entries`` set the table is LRU-bounded: inserting beyond the
+    bound evicts the least-recently-used entry (hits refresh recency), so
+    long serving runs over many (model, batch) shapes hold the cache at a
+    fixed footprint.  The default is unbounded — the paper's figure/table
+    sweeps revisit a small, finite spec set.
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._store: dict[RunSpec, RunResult] = {}
+        self._max_entries = max_entries
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -49,13 +67,18 @@ class ResultCache:
         """Return the cached result for ``spec``, running ``runner`` on a miss."""
 
         try:
-            result = self._store[spec]
+            result = self._store.pop(spec)
         except KeyError:
             self._misses += 1
             result = runner(spec)
             self._store[spec] = result
+            if self._max_entries is not None:
+                while len(self._store) > self._max_entries:
+                    self._store.pop(next(iter(self._store)))
+                    self._evictions += 1
             return result
         self._hits += 1
+        self._store[spec] = result       # re-insert at the back: most recent
         return result
 
     def invalidate_target(self, target: str) -> int:
@@ -71,12 +94,15 @@ class ResultCache:
         return len(stale)
 
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._store))
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          size=len(self._store), evictions=self._evictions,
+                          max_entries=self._max_entries)
 
     def clear(self) -> None:
         self._store.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
 
 #: Process-wide default cache used by :func:`simulate` when none is passed.

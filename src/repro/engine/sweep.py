@@ -57,6 +57,18 @@ class SweepOutcome:
         }
 
 
+def _unique_names(values: tuple, method: str) -> tuple[str, ...]:
+    """Flatten ``(iterable,)`` or ``(name, name, ...)`` into unique names."""
+
+    if len(values) == 1 and not isinstance(values[0], str):
+        values = tuple(values[0])
+    for value in values:
+        if not isinstance(value, str):
+            raise TypeError(f"{method} expects workload/target names, "
+                            f"got {value!r}")
+    return tuple(dict.fromkeys(values))
+
+
 @dataclass
 class Sweep:
     """Builder for a cross product of simulation runs.
@@ -85,6 +97,26 @@ class Sweep:
 
     def targets(self, *names: str) -> "Sweep":
         self._targets = tuple(names)
+        return self
+
+    def over_models(self, *names) -> "Sweep":
+        """Set the models axis from varargs *or* one iterable, deduplicated.
+
+        Accepting an iterable lets callers that hold a collection of names —
+        a serving fleet's workload mix, another sweep's axis — feed it
+        straight in (``.over_models(mix_names)``) instead of hand-building
+        cross-products; duplicates collapse order-preservingly, so a fleet
+        spec like ``2xvitality,1xgpu`` contributes each name once.
+        """
+
+        self._models = _unique_names(names, "over_models")
+        return self
+
+    def over_targets(self, *names) -> "Sweep":
+        """Set the targets axis from varargs *or* one iterable, deduplicated
+        (the counterpart of :meth:`over_models` — see there)."""
+
+        self._targets = _unique_names(names, "over_targets")
         return self
 
     def attentions(self, *modes: str | None) -> "Sweep":

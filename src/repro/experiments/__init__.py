@@ -15,7 +15,13 @@ from repro.experiments.registry import (
     get_experiment,
     run_experiment,
 )
-from repro.experiments import complexity, profiling_exps, hardware_exps, accuracy_exps
+from repro.experiments import (
+    complexity,
+    profiling_exps,
+    hardware_exps,
+    accuracy_exps,
+    serving_exps,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -26,4 +32,5 @@ __all__ = [
     "profiling_exps",
     "hardware_exps",
     "accuracy_exps",
+    "serving_exps",
 ]

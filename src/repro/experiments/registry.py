@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import accuracy_exps, complexity, hardware_exps, profiling_exps
+from repro.experiments import (
+    accuracy_exps,
+    complexity,
+    hardware_exps,
+    profiling_exps,
+    serving_exps,
+)
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,10 @@ _register("pipeline_ablation", "Intra-layer pipeline on/off ablation", "Section 
           hardware_exps.pipeline_ablation)
 _register("eq1_3", "Closed-form operation-count ratios", "Equations (1)-(3)",
           complexity.closed_form_ratios)
+_register("serve_comparison", "Serving under load: taylor vs vanilla fleets",
+          "beyond the paper", serving_exps.serving_comparison)
+_register("serve_fleet", "Heterogeneous-fleet routing under bursty traffic",
+          "beyond the paper", serving_exps.serving_fleet_study)
 
 
 def list_experiments() -> list[str]:

@@ -1,0 +1,96 @@
+"""Serving-layer experiments: fleet-level behavior the per-image tables miss.
+
+The paper evaluates one image at a time; these experiments put the same
+hardware models behind the :mod:`repro.serve` discrete-event simulator and
+measure what a deployment actually sees — sustained throughput, tail latency,
+SLO attainment and energy per request under load.
+
+* :func:`serving_comparison` — Taylor-attention fleets vs vanilla-attention
+  fleets under identical traffic, for the accelerator pair (ViTALiTy vs
+  Sanger) and a general-purpose platform pair (CPU taylor vs vanilla).  Each
+  pair's arrival rate is chosen to saturate the vanilla fleet, so the
+  throughput gap is the sustained-capacity gap, not an artifact of light load.
+* :func:`serving_fleet_study` — one heterogeneous fleet (accelerators plus a
+  GPU) under bursty traffic, routed least-loaded vs energy-aware: the
+  energy-aware router holds requests on the efficient accelerators and spills
+  to the hungry GPU only when they fall behind.
+"""
+
+from __future__ import annotations
+
+from repro.serve import (
+    BurstyTraffic,
+    Fleet,
+    PoissonTraffic,
+    ServeReport,
+    WorkloadMix,
+    compare,
+    serve,
+)
+
+#: The vanilla-vs-taylor fleet pairs and the rate (req/s) that saturates each
+#: pair's vanilla fleet.  Within a pair both fleets see identical traffic.
+COMPARISON_PAIRS = (
+    ("accelerator", "2xvitality", "2xsanger", 600.0),
+    ("cpu_platform", "2xcpu:taylor", "2xcpu:vanilla", 55.0),
+)
+
+
+def _report_row(report: ServeReport) -> dict[str, float]:
+    return {
+        "offered_rps": report.config["traffic"]["rate"],
+        "throughput_rps": report.throughput_rps,
+        "p50_ms": report.latency.p50 * 1e3,
+        "p99_ms": report.latency.p99 * 1e3,
+        "slo_violation_rate": report.slo_violation_rate,
+        "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+    }
+
+
+def serving_comparison(quick: bool = True,
+                       model: str = "deit-tiny") -> dict[str, dict[str, float]]:
+    """Taylor vs vanilla fleets under identical saturating traffic.
+
+    Returns ``{fleet_label: {offered_rps, throughput_rps, p50_ms, p99_ms,
+    slo_violation_rate, energy_per_request_mj}}``.  The Taylor fleet of each
+    pair sustains the offered load; the vanilla fleet saturates below it.
+    """
+
+    duration = 2.0 if quick else 10.0
+    rows: dict[str, dict[str, float]] = {}
+    for pair, taylor_fleet, vanilla_fleet, rate in COMPARISON_PAIRS:
+        traffic = PoissonTraffic(rate=rate, mix=WorkloadMix.of([model]))
+        reports = compare(
+            traffic,
+            {f"{pair}: taylor ({taylor_fleet})": taylor_fleet,
+             f"{pair}: vanilla ({vanilla_fleet})": vanilla_fleet},
+            policy="timeout", duration=duration, seed=0, models=[model])
+        for label, report in reports.items():
+            rows[label] = _report_row(report)
+    return rows
+
+
+def serving_fleet_study(quick: bool = True, model: str = "deit-tiny",
+                        fleet: str = "2xvitality,1xgpu",
+                        rate: float = 400.0) -> dict[str, dict[str, float]]:
+    """Least-loaded vs energy-aware routing on one heterogeneous fleet.
+
+    Bursty (MMPP) traffic stresses the routers: least-loaded spreads bursts
+    across every replica including the energy-hungry GPU, while energy-aware
+    routing concedes some tail latency to keep requests on the accelerators.
+    Returns ``{router: {... , gpu_request_share}}``.
+    """
+
+    duration = 2.0 if quick else 10.0
+    traffic = BurstyTraffic(rate=rate, mix=WorkloadMix.of([model]))
+    rows: dict[str, dict[str, float]] = {}
+    for router in ("least-loaded", "energy-aware"):
+        report = serve(traffic, Fleet.parse(fleet), policy="timeout",
+                       router=router, duration=duration, seed=0)
+        row = _report_row(report)
+        gpu_requests = sum(replica.requests for replica in report.per_replica
+                           if replica.target == "gpu")
+        row["gpu_request_share"] = (gpu_requests / report.completed
+                                    if report.completed else 0.0)
+        rows[router] = row
+    return rows

@@ -1,0 +1,113 @@
+"""Discrete-event inference-serving simulation on top of :mod:`repro.engine`.
+
+Where the engine answers "how fast is one run of model M on target T", this
+package answers the fleet-level questions the ROADMAP's serving north-star
+needs: tail latency, SLO attainment, sustained throughput and energy per
+request under load.  The pieces:
+
+* :mod:`traffic` — seeded arrival generators (Poisson, bursty/MMPP, diurnal,
+  trace replay), each request naming a workload;
+* :mod:`batching` — pluggable batch formation (FIFO no-batching,
+  size-triggered, timeout-based), folding queued requests into batched
+  ``RunSpec`` dispatches;
+* :mod:`cluster` — heterogeneous fleets of engine targets with least-loaded
+  and energy-aware routing;
+* :mod:`simulator` — the deterministic event loop, :func:`serve` and
+  :func:`compare`;
+* :mod:`metrics` — per-request records folded into the JSON-serialisable
+  :class:`ServeReport` (p50/p95/p99, throughput, utilisation, SLO violations,
+  energy/request, cache traffic).
+
+Typical use::
+
+    from repro.serve import Fleet, PoissonTraffic, WorkloadMix, serve
+
+    traffic = PoissonTraffic(rate=200.0, mix=WorkloadMix.of(["deit-tiny"]))
+    report = serve(traffic, Fleet.parse("2xvitality"), policy="size",
+                   duration=5.0, seed=0)
+    print(report.throughput_rps, report.latency.p99, report.to_json())
+"""
+
+from repro.serve.batching import (
+    BATCH_POLICIES,
+    BatchPolicy,
+    FIFOPolicy,
+    SizeBatchPolicy,
+    TimeoutBatchPolicy,
+    make_policy,
+)
+from repro.serve.cluster import (
+    ROUTERS,
+    EnergyAwareRouter,
+    Estimate,
+    Fleet,
+    LeastLoadedRouter,
+    Replica,
+    ReplicaSpec,
+    Router,
+    make_router,
+)
+from repro.serve.metrics import (
+    LatencySummary,
+    ReplicaReport,
+    RequestRecord,
+    ServeReport,
+    build_report,
+    percentile,
+)
+from repro.serve.simulator import (
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_DISPATCH_OVERHEAD,
+    DEFAULT_SLO,
+    compare,
+    serve,
+)
+from repro.serve.traffic import (
+    TRAFFIC_PATTERNS,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    Request,
+    TrafficPattern,
+    WorkloadMix,
+    make_traffic,
+)
+
+__all__ = [
+    "BATCH_POLICIES",
+    "BatchPolicy",
+    "BurstyTraffic",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_DISPATCH_OVERHEAD",
+    "DEFAULT_SLO",
+    "DiurnalTraffic",
+    "EnergyAwareRouter",
+    "Estimate",
+    "FIFOPolicy",
+    "Fleet",
+    "LatencySummary",
+    "LeastLoadedRouter",
+    "PoissonTraffic",
+    "ROUTERS",
+    "Replica",
+    "ReplicaReport",
+    "ReplicaSpec",
+    "ReplayTraffic",
+    "Request",
+    "RequestRecord",
+    "Router",
+    "ServeReport",
+    "SizeBatchPolicy",
+    "TRAFFIC_PATTERNS",
+    "TimeoutBatchPolicy",
+    "TrafficPattern",
+    "WorkloadMix",
+    "build_report",
+    "compare",
+    "make_policy",
+    "make_router",
+    "make_traffic",
+    "percentile",
+    "serve",
+]

@@ -1,0 +1,229 @@
+"""Heterogeneous fleets of engine targets and request-routing policies.
+
+A :class:`Fleet` is parsed from a compact spec string — ``"2xvitality,1xgpu"``
+means two ViTALiTy replicas plus one GPU replica; a ``:vanilla`` / ``:taylor``
+suffix pins the attention formulation on platform targets
+(``"2xgpu:taylor"``).  Each :class:`Replica` wraps one engine target with a
+request queue and running busy/energy accounting; routers place every arriving
+request on one replica:
+
+* :class:`LeastLoadedRouter` — minimise the replica's backlog (remaining busy
+  time plus the estimated service time of everything it has queued);
+* :class:`EnergyAwareRouter` — among replicas within ``slack_seconds`` of the
+  lightest backlog, pick the one that serves this request's model for the
+  least energy (it spills to faster, hungrier replicas only when the
+  efficient ones fall behind).
+
+Single-request service-time/energy estimates come from the engine through the
+run's shared :class:`~repro.engine.ResultCache`, so routing costs one
+simulation per (model, replica-kind) for the whole run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, NamedTuple, Protocol, Sequence, runtime_checkable
+
+from repro.engine import Sweep, get_target
+from repro.engine.spec import ATTENTION_MODES
+from repro.serve.traffic import Request
+
+#: Router names accepted by :func:`make_router` and the CLI.
+ROUTERS = ("least-loaded", "energy-aware")
+
+
+class Estimate(NamedTuple):
+    """Single-request service estimate used by routing decisions."""
+
+    latency_seconds: float
+    energy_joules: float
+
+
+#: Signature of the estimator the simulator hands to routers.
+Estimator = Callable[[str, "Replica"], Estimate]
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica kind: an engine target plus an optional attention pin."""
+
+    target: str
+    attention: str | None = None
+
+    def __post_init__(self):
+        get_target(self.target)   # unknown names fail here, not mid-run
+        if self.attention is not None and self.attention not in ATTENTION_MODES:
+            raise ValueError(f"attention must be one of {ATTENTION_MODES}, "
+                             f"got {self.attention!r}")
+
+    @property
+    def label(self) -> str:
+        return self.target if self.attention is None else f"{self.target}:{self.attention}"
+
+
+class Replica:
+    """One serving instance: an engine target with a queue and accounting."""
+
+    def __init__(self, index: int, ordinal: int, spec: ReplicaSpec):
+        self.index = index                       # fleet-wide position (tie-breaks)
+        self.spec = spec
+        self.name = f"{spec.label}#{ordinal}"
+        self.queue: deque[Request] = deque()
+        self.queued_seconds = 0.0                # estimated service time queued
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+        self.energy_joules = 0.0
+        self.batches = 0
+        self.served = 0
+
+    def reset(self) -> None:
+        """Return to the pristine pre-run state (serve() calls this, so one
+        Fleet can back any number of independent runs)."""
+
+        self.queue.clear()
+        self.queued_seconds = 0.0
+        self.busy_until = 0.0
+        self.busy_seconds = 0.0
+        self.energy_joules = 0.0
+        self.batches = 0
+        self.served = 0
+
+    def idle(self, now: float) -> bool:
+        return self.busy_until <= now
+
+    def backlog_seconds(self, now: float) -> float:
+        """Remaining busy time plus the estimated service time of the queue.
+
+        ``queued_seconds`` is maintained incrementally by the simulator
+        (added on enqueue, removed on dispatch), so a routing decision costs
+        O(fleet) rather than O(total queued requests).
+        """
+
+        return max(self.busy_until - now, 0.0) + self.queued_seconds
+
+
+class Fleet:
+    """An ordered collection of replicas built from :class:`ReplicaSpec`s."""
+
+    def __init__(self, specs: Sequence[ReplicaSpec]):
+        if not specs:
+            raise ValueError("a fleet needs at least one replica")
+        self.replica_specs = tuple(specs)
+        ordinals: dict[str, int] = {}
+        replicas = []
+        for index, spec in enumerate(self.replica_specs):
+            ordinal = ordinals.get(spec.label, 0)
+            ordinals[spec.label] = ordinal + 1
+            replicas.append(Replica(index, ordinal, spec))
+        self.replicas = tuple(replicas)
+
+    @classmethod
+    def parse(cls, text: str) -> "Fleet":
+        """Parse ``"2xvitality,1xgpu:taylor"`` (count defaults to 1)."""
+
+        specs: list[ReplicaSpec] = []
+        for part in (piece.strip() for piece in text.split(",")):
+            if not part:
+                continue
+            count_text, _, rest = part.partition("x")
+            if rest and count_text.isdigit():
+                count, body = int(count_text), rest
+            else:
+                count, body = 1, part
+            if count < 1:
+                raise ValueError(f"replica count must be >= 1 in {part!r}")
+            target, _, attention = body.partition(":")
+            specs.extend(ReplicaSpec(target, attention or None)
+                         for _ in range(count))
+        if not specs:
+            raise ValueError(f"empty fleet spec {text!r}")
+        return cls(specs)
+
+    def describe(self) -> str:
+        """The canonical spec string (``"2xvitality,1xgpu:taylor"``)."""
+
+        counts: dict[str, int] = {}
+        for spec in self.replica_specs:
+            counts[spec.label] = counts.get(spec.label, 0) + 1
+        return ",".join(f"{count}x{label}" for label, count in counts.items())
+
+    def warmup_sweeps(self, models: Sequence[str],
+                      batch_sizes: Sequence[int] = (1,)) -> list[Sweep]:
+        """Engine sweeps covering every (model, replica kind, batch) shape.
+
+        One :class:`~repro.engine.Sweep` per distinct attention pin, built
+        through the same ``over_models`` / ``over_targets`` path the
+        experiment sweeps use — no hand-rolled cross-products.
+        """
+
+        groups: dict[str | None, list[str]] = {}
+        for spec in self.replica_specs:
+            groups.setdefault(spec.attention, []).append(spec.target)
+        return [
+            Sweep().over_models(models).over_targets(targets)
+                   .attentions(attention).batch_sizes(*batch_sizes)
+            for attention, targets in groups.items()
+        ]
+
+    def warmup(self, models: Sequence[str], batch_sizes: Sequence[int] = (1,),
+               cache=None) -> None:
+        """Pre-simulate every shape the fleet can dispatch, through ``cache``."""
+
+        for builder in self.warmup_sweeps(models, batch_sizes):
+            builder.run(cache=cache)
+
+
+@runtime_checkable
+class Router(Protocol):
+    """Places one arriving request on a replica."""
+
+    name: str
+
+    def choose(self, replicas: Sequence[Replica], model: str, now: float,
+               estimate: Estimator) -> Replica:
+        ...
+
+
+class LeastLoadedRouter:
+    """Route to the replica with the smallest backlog (ties: fleet order)."""
+
+    name = "least-loaded"
+
+    def choose(self, replicas: Sequence[Replica], model: str, now: float,
+               estimate: Estimator) -> Replica:
+        return min(replicas, key=lambda r: (r.backlog_seconds(now), r.index))
+
+
+class EnergyAwareRouter:
+    """Prefer the most energy-efficient replica for this model, spilling to
+    others only when the efficient one falls ``slack_seconds`` behind the
+    lightest-loaded replica."""
+
+    name = "energy-aware"
+
+    def __init__(self, slack_seconds: float = 0.01):
+        if slack_seconds < 0:
+            raise ValueError(f"slack_seconds must be >= 0, got {slack_seconds}")
+        self.slack_seconds = slack_seconds
+
+    def choose(self, replicas: Sequence[Replica], model: str, now: float,
+               estimate: Estimator) -> Replica:
+        backlogs = [replica.backlog_seconds(now) for replica in replicas]
+        floor = min(backlogs)
+        eligible = [(replica, backlog)
+                    for replica, backlog in zip(replicas, backlogs)
+                    if backlog <= floor + self.slack_seconds]
+        return min(eligible,
+                   key=lambda pair: (estimate(model, pair[0]).energy_joules,
+                                     pair[1], pair[0].index))[0]
+
+
+def make_router(name: str, *, slack_seconds: float = 0.01) -> Router:
+    """Build a routing policy by name (the CLI entry point)."""
+
+    if name == "least-loaded":
+        return LeastLoadedRouter()
+    if name == "energy-aware":
+        return EnergyAwareRouter(slack_seconds=slack_seconds)
+    raise ValueError(f"unknown router {name!r}; available: {', '.join(ROUTERS)}")

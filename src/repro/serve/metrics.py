@@ -1,0 +1,207 @@
+"""Per-request accounting and the JSON-serialisable ``ServeReport``.
+
+The simulator records one :class:`RequestRecord` per served request; this
+module folds those into a :class:`ServeReport`: latency percentiles
+(nearest-rank, so they are exact order statistics, not interpolations),
+throughput, SLO attainment, energy per request, per-model and per-replica
+summaries, and the engine result-cache traffic of the run.  Everything is a
+plain float/int/str structure, so ``to_json()`` of two identical runs is
+bit-identical — the determinism contract the tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine import CacheStats
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle of one served request."""
+
+    index: int
+    model: str
+    arrival: float
+    replica: str
+    batch_size: int
+    dispatch: float
+    completion: float
+
+    @property
+    def queue_wait(self) -> float:
+        return self.dispatch - self.arrival
+
+    @property
+    def service(self) -> float:
+        return self.completion - self.dispatch
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of a non-empty sample."""
+
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= fraction <= 1:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(math.ceil(fraction * len(ordered)), 1)
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency-like sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        return cls(count=len(values), mean=sum(values) / len(values),
+                   p50=percentile(values, 0.50), p95=percentile(values, 0.95),
+                   p99=percentile(values, 0.99), max=max(values))
+
+    def to_dict(self) -> dict[str, object]:
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p95": self.p95, "p99": self.p99, "max": self.max}
+
+
+@dataclass(frozen=True)
+class ReplicaReport:
+    """One replica's share of the run."""
+
+    name: str
+    target: str
+    attention: str | None
+    requests: int
+    batches: int
+    busy_seconds: float
+    utilization: float
+    energy_joules: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "target": self.target, "attention": self.attention,
+                "requests": self.requests, "batches": self.batches,
+                "busy_seconds": self.busy_seconds, "utilization": self.utilization,
+                "energy_joules": self.energy_joules}
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one serving run produced, ready for JSON."""
+
+    config: dict[str, object]
+    offered: int
+    completed: int
+    duration: float
+    makespan: float                     # max(duration, last completion time)
+    throughput_rps: float               # completed / makespan
+    latency: LatencySummary             # queue wait + service, per request
+    queue_wait: LatencySummary
+    mean_batch_size: float
+    slo_seconds: float
+    slo_violation_rate: float
+    total_energy_joules: float
+    energy_per_request_joules: float
+    per_model: tuple[tuple[str, LatencySummary], ...]
+    per_replica: tuple[ReplicaReport, ...]
+    cache: CacheStats
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config,
+            "offered": self.offered,
+            "completed": self.completed,
+            "duration": self.duration,
+            "makespan": self.makespan,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.to_dict(),
+            "queue_wait": self.queue_wait.to_dict(),
+            "mean_batch_size": self.mean_batch_size,
+            "slo_seconds": self.slo_seconds,
+            "slo_violation_rate": self.slo_violation_rate,
+            "total_energy_joules": self.total_energy_joules,
+            "energy_per_request_joules": self.energy_per_request_joules,
+            "per_model": {model: summary.to_dict() for model, summary in self.per_model},
+            "per_replica": [replica.to_dict() for replica in self.per_replica],
+            "cache": self.cache.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary_row(self) -> dict[str, object]:
+        """One flat row for markdown tables (CLI and experiment reports)."""
+
+        return {
+            "requests": self.completed,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.latency.p50 * 1e3,
+            "p95_ms": self.latency.p95 * 1e3,
+            "p99_ms": self.latency.p99 * 1e3,
+            "mean_batch": self.mean_batch_size,
+            "slo_violation_rate": self.slo_violation_rate,
+            "energy_per_request_mj": self.energy_per_request_joules * 1e3,
+        }
+
+
+def build_report(config: dict[str, object], records: Sequence[RequestRecord],
+                 offered: int, duration: float, slo_seconds: float,
+                 replicas, cache_stats: CacheStats) -> ServeReport:
+    """Fold raw request records and replica accounting into a report."""
+
+    latencies = [record.latency for record in records]
+    waits = [record.queue_wait for record in records]
+    makespan = max([duration] + [record.completion for record in records])
+    completed = len(records)
+    violations = sum(1 for latency in latencies if latency > slo_seconds)
+    total_energy = sum(replica.energy_joules for replica in replicas)
+    total_batches = sum(replica.batches for replica in replicas)
+
+    by_model: dict[str, list[float]] = {}
+    for record in records:
+        by_model.setdefault(record.model, []).append(record.latency)
+
+    per_replica = tuple(
+        ReplicaReport(
+            name=replica.name, target=replica.spec.target,
+            attention=replica.spec.attention, requests=replica.served,
+            batches=replica.batches, busy_seconds=replica.busy_seconds,
+            utilization=replica.busy_seconds / makespan,
+            energy_joules=replica.energy_joules)
+        for replica in replicas
+    )
+    return ServeReport(
+        config=config,
+        offered=offered,
+        completed=completed,
+        duration=duration,
+        makespan=makespan,
+        throughput_rps=completed / makespan,
+        latency=LatencySummary.of(latencies),
+        queue_wait=LatencySummary.of(waits),
+        mean_batch_size=completed / total_batches if total_batches else 0.0,
+        slo_seconds=slo_seconds,
+        slo_violation_rate=violations / completed if completed else 0.0,
+        total_energy_joules=total_energy,
+        energy_per_request_joules=total_energy / completed if completed else 0.0,
+        per_model=tuple(sorted(((model, LatencySummary.of(values))
+                                for model, values in by_model.items()),
+                               key=lambda entry: entry[0])),
+        per_replica=per_replica,
+        cache=cache_stats,
+    )

@@ -1,0 +1,192 @@
+"""The discrete-event core of the serving simulator.
+
+:func:`serve` runs one online-serving experiment: a traffic pattern emits
+requests, a router places each on a fleet replica, the replica's batching
+policy folds its queue into single-model batches, and every batch's service
+time/energy comes from the engine (``simulate`` of a batched ``RunSpec``
+through the run's own LRU-bounded :class:`~repro.engine.ResultCache`, so
+repeated (model, batch-size) shapes simulate exactly once per run).
+
+Each dispatch additionally pays ``dispatch_overhead_seconds`` — the host-side
+launch/weight-staging cost a real deployment amortises by batching.  Without
+it the engine's linear batch scaling would make batching a no-op; with it,
+larger batches trade queueing delay for sustained throughput, which is the
+trade-off the schedulers exist to navigate.
+
+The event loop is a single heap of ``(time, sequence, kind, payload)``
+entries with a monotone tie-breaking sequence, and every random draw comes
+from the traffic pattern's seeded generator — so a (traffic, fleet, policy,
+router, duration, seed) tuple maps to one bit-exact :class:`ServeReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from repro.engine import ResultCache, RunSpec, simulate
+from repro.serve.batching import BatchPolicy, make_policy
+from repro.serve.cluster import (
+    Estimate,
+    Fleet,
+    Replica,
+    ReplicaSpec,
+    Router,
+    make_router,
+)
+from repro.serve.metrics import RequestRecord, ServeReport, build_report
+from repro.serve.traffic import TrafficPattern
+
+#: Default host-side cost of dispatching one batch to a replica (seconds).
+DEFAULT_DISPATCH_OVERHEAD = 5e-4
+
+#: Default latency SLO (seconds).
+DEFAULT_SLO = 0.05
+
+#: Default LRU bound of the per-run engine result cache.
+DEFAULT_CACHE_ENTRIES = 1024
+
+
+def serve(traffic: TrafficPattern, fleet: Fleet | str,
+          policy: BatchPolicy | str = "timeout", router: Router | str = "least-loaded",
+          *, duration: float, seed: int = 0,
+          slo_seconds: float = DEFAULT_SLO,
+          dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
+          cache: ResultCache | None = None) -> ServeReport:
+    """Run one serving simulation and return its :class:`ServeReport`.
+
+    ``fleet`` accepts a :class:`Fleet` or a spec string (``"2xvitality,1xgpu"``);
+    ``policy`` and ``router`` accept built instances or registry names
+    (``"fifo"`` / ``"size"`` / ``"timeout"``, ``"least-loaded"`` /
+    ``"energy-aware"``).  A fresh LRU-bounded result cache is created unless
+    one is passed in (pass one to share simulations across runs).
+    """
+
+    if isinstance(fleet, str):
+        fleet = Fleet.parse(fleet)
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    if isinstance(router, str):
+        router = make_router(router)
+    if dispatch_overhead_seconds < 0:
+        raise ValueError(f"dispatch_overhead_seconds must be >= 0, "
+                         f"got {dispatch_overhead_seconds}")
+    if slo_seconds <= 0:
+        raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+    cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES) if cache is None else cache
+    for replica in fleet.replicas:
+        replica.reset()
+
+    arrivals = traffic.arrivals(duration, seed)
+    records: list[RequestRecord] = []
+
+    # Routing estimates are memoised outside the result cache: one engine
+    # simulation per (model, replica kind) for the whole run, and the
+    # reported cache counters keep describing batch-dispatch reuse instead
+    # of being swamped by per-arrival estimate lookups.
+    estimates: dict[tuple[str, ReplicaSpec], Estimate] = {}
+
+    def estimate(model: str, replica: Replica) -> Estimate:
+        key = (model, replica.spec)
+        cached = estimates.get(key)
+        if cached is None:
+            result = simulate(RunSpec(model, target=replica.spec.target,
+                                      attention=replica.spec.attention), cache=cache)
+            cached = Estimate(dispatch_overhead_seconds + result.end_to_end_latency,
+                              result.end_to_end_energy)
+            estimates[key] = cached
+        return cached
+
+    sequence = itertools.count()
+    events: list[tuple[float, int, str, object]] = []
+    for request in arrivals:
+        heapq.heappush(events, (request.arrival, next(sequence), "arrival", request))
+    remaining = len(arrivals)
+
+    def dispatch(replica: Replica, now: float) -> None:
+        while replica.idle(now) and replica.queue:
+            batch = policy.take(replica.queue, now, draining=(remaining == 0))
+            if batch is None:
+                deadline = policy.deadline(replica.queue)
+                if deadline is not None and deadline > now:
+                    heapq.heappush(events, (deadline, next(sequence), "poll", replica))
+                return
+            for request in batch:
+                replica.queued_seconds -= estimate(request.model, replica).latency_seconds
+            if not replica.queue:
+                replica.queued_seconds = 0.0    # shed float residue when empty
+            spec = RunSpec(batch[0].model, target=replica.spec.target,
+                           attention=replica.spec.attention, batch_size=len(batch))
+            result = simulate(spec, cache=cache)
+            service = dispatch_overhead_seconds + result.end_to_end_latency
+            finish = now + service
+            replica.busy_until = finish
+            replica.busy_seconds += service
+            replica.energy_joules += result.end_to_end_energy
+            replica.batches += 1
+            replica.served += len(batch)
+            records.extend(
+                RequestRecord(index=request.index, model=request.model,
+                              arrival=request.arrival, replica=replica.name,
+                              batch_size=len(batch), dispatch=now, completion=finish)
+                for request in batch)
+            heapq.heappush(events, (finish, next(sequence), "free", replica))
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "arrival":
+            remaining -= 1
+            replica = router.choose(fleet.replicas, payload.model, now, estimate)
+            replica.queue.append(payload)
+            replica.queued_seconds += estimate(payload.model, replica).latency_seconds
+            dispatch(replica, now)
+            if remaining == 0:
+                # Last arrival processed: policies holding out for bigger
+                # batches will never see another trigger, so flush everyone.
+                for other in fleet.replicas:
+                    dispatch(other, now)
+        else:                                    # "free" and "poll" re-evaluate
+            dispatch(payload, now)
+
+    config = {
+        "traffic": traffic.to_dict(),
+        "fleet": fleet.describe(),
+        "policy": policy.to_dict(),
+        "router": router.name,
+        "duration": duration,
+        "seed": seed,
+        "slo_seconds": slo_seconds,
+        "dispatch_overhead_seconds": dispatch_overhead_seconds,
+    }
+    records.sort(key=lambda record: record.index)
+    return build_report(config, records, offered=len(arrivals), duration=duration,
+                        slo_seconds=slo_seconds, replicas=fleet.replicas,
+                        cache_stats=cache.stats())
+
+
+def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
+            policy: BatchPolicy | str = "timeout",
+            router: Router | str = "least-loaded", *, duration: float,
+            seed: int = 0, slo_seconds: float = DEFAULT_SLO,
+            dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
+            models: Sequence[str] | None = None) -> dict[str, ServeReport]:
+    """Serve identical traffic on several fleets; one report per fleet.
+
+    Every fleet sees the same arrival sequence (same traffic, duration and
+    seed) and its own fresh replicas and cache, so reports differ only by the
+    fleet under test — the setup behind the vanilla-vs-taylor serving tables.
+    ``models``, when given, pre-warms each fleet's cache for those workloads.
+    """
+
+    reports: dict[str, ServeReport] = {}
+    for name, fleet_spec in fleets.items():
+        fleet = Fleet.parse(fleet_spec) if isinstance(fleet_spec, str) else fleet_spec
+        cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES)
+        if models is not None:
+            fleet.warmup(models, cache=cache)
+        reports[name] = serve(
+            traffic, fleet, policy, router, duration=duration, seed=seed,
+            slo_seconds=slo_seconds,
+            dispatch_overhead_seconds=dispatch_overhead_seconds, cache=cache)
+    return reports

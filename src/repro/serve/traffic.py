@@ -1,0 +1,295 @@
+"""Seeded request-arrival generators for the serving simulator.
+
+Every pattern turns ``(duration, seed)`` into a sorted list of
+:class:`Request` instances, each naming the workload it wants served
+(``deit-tiny``, ``levit-128``, ...).  Generation is pure: the same pattern,
+duration and seed always produce the identical arrival list, which is what
+makes whole serving runs bit-reproducible.
+
+Patterns:
+
+* :class:`PoissonTraffic` — memoryless arrivals at a constant rate;
+* :class:`BurstyTraffic` — a two-state Markov-modulated Poisson process
+  alternating quiet and burst phases;
+* :class:`DiurnalTraffic` — a raised-cosine rate profile (the day/night cycle
+  compressed to ``period`` seconds), sampled by thinning;
+* :class:`ReplayTraffic` — replay of an explicit ``(time, model)`` trace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.workloads import list_workloads
+
+#: Traffic pattern names accepted by :func:`make_traffic` and the CLI.
+TRAFFIC_PATTERNS = ("poisson", "bursty", "diurnal", "replay")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: which workload, and when it arrived."""
+
+    index: int
+    model: str
+    arrival: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {"index": self.index, "model": self.model, "arrival": self.arrival}
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A weighted mixture of workload names requests are drawn from."""
+
+    entries: tuple[tuple[str, float], ...]
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ValueError("WorkloadMix needs at least one workload")
+        merged: dict[str, float] = {}
+        for model, weight in self.entries:
+            if model not in list_workloads():
+                raise ValueError(f"unknown workload {model!r} in mix; available: "
+                                 + ", ".join(list_workloads()))
+            if weight <= 0:
+                raise ValueError(f"mix weight for {model!r} must be positive, got {weight}")
+            merged[model] = merged.get(model, 0.0) + weight
+        # Duplicate names collapse to one summed entry, so the config echo
+        # (to_dict) describes exactly the distribution sample() draws from.
+        object.__setattr__(self, "entries", tuple(merged.items()))
+
+    @classmethod
+    def of(cls, models: Sequence[str],
+           weights: Sequence[float] | None = None) -> "WorkloadMix":
+        if weights is None:
+            weights = [1.0] * len(models)
+        if len(weights) != len(models):
+            raise ValueError(f"{len(models)} models but {len(weights)} weights")
+        return cls(tuple(zip(models, weights)))
+
+    def sample(self, rng: random.Random) -> str:
+        if len(self.entries) == 1:
+            return self.entries[0][0]
+        total = sum(weight for _, weight in self.entries)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for model, weight in self.entries:
+            cumulative += weight
+            if pick < cumulative:
+                return model
+        return self.entries[-1][0]
+
+    def to_dict(self) -> dict[str, float]:
+        return dict(self.entries)
+
+
+@runtime_checkable
+class TrafficPattern(Protocol):
+    """What every arrival generator provides."""
+
+    name: str
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        """The sorted request list for one run of ``duration`` seconds."""
+        ...
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-stable description echoed into the :class:`ServeReport`."""
+        ...
+
+
+def _check_duration(duration: float) -> None:
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+
+
+def _requests(times: Iterable[float], mix: WorkloadMix,
+              rng: random.Random) -> list[Request]:
+    return [Request(index=index, model=mix.sample(rng), arrival=time)
+            for index, time in enumerate(times)]
+
+
+@dataclass(frozen=True)
+class PoissonTraffic:
+    """Memoryless arrivals: exponential inter-arrival times at ``rate`` req/s."""
+
+    rate: float
+    mix: WorkloadMix
+    name: str = "poisson"
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        times = []
+        now = rng.expovariate(self.rate)
+        while now < duration:
+            times.append(now)
+            now += rng.expovariate(self.rate)
+        return _requests(times, self.mix, rng)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "rate": self.rate, "mix": self.mix.to_dict()}
+
+
+@dataclass(frozen=True)
+class BurstyTraffic:
+    """Two-state MMPP: quiet phases at ``rate * quiet_factor`` alternating with
+    bursts at ``rate * burst_factor``; phase dwell times are exponential.
+
+    The default factors are dwell-weighted to make :attr:`mean_rate` equal
+    ``rate``, so Poisson and bursty runs at the same ``rate`` are load-matched
+    and differ only in arrival variance.
+    """
+
+    rate: float
+    mix: WorkloadMix
+    burst_factor: float = 3.0
+    quiet_factor: float = 0.5
+    mean_quiet: float = 1.0
+    mean_burst: float = 0.25
+    name: str = "bursty"
+
+    @property
+    def mean_rate(self) -> float:
+        """Time-averaged arrival rate over the quiet/burst cycle."""
+
+        weighted = (self.quiet_factor * self.mean_quiet
+                    + self.burst_factor * self.mean_burst)
+        return self.rate * weighted / (self.mean_quiet + self.mean_burst)
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst_factor <= self.quiet_factor:
+            raise ValueError("burst_factor must exceed quiet_factor")
+        if min(self.quiet_factor, self.mean_quiet, self.mean_burst) <= 0:
+            raise ValueError("bursty traffic parameters must be positive")
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        times = []
+        now, burst = 0.0, False
+        while now < duration:
+            mean_dwell = self.mean_burst if burst else self.mean_quiet
+            phase_rate = self.rate * (self.burst_factor if burst else self.quiet_factor)
+            phase_end = min(now + rng.expovariate(1.0 / mean_dwell), duration)
+            tick = now + rng.expovariate(phase_rate)
+            while tick < phase_end:
+                times.append(tick)
+                tick += rng.expovariate(phase_rate)
+            now, burst = phase_end, not burst
+        return _requests(times, self.mix, rng)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "rate": self.rate,
+                "burst_factor": self.burst_factor, "quiet_factor": self.quiet_factor,
+                "mean_quiet": self.mean_quiet, "mean_burst": self.mean_burst,
+                "mix": self.mix.to_dict()}
+
+
+@dataclass(frozen=True)
+class DiurnalTraffic:
+    """A raised-cosine day/night profile compressed into ``period`` seconds.
+
+    The instantaneous rate swings between ``peak_rate * floor`` (the trough,
+    at t = 0) and ``peak_rate`` (the peak, at t = period / 2); arrivals are
+    drawn by thinning a Poisson process running at the peak rate.
+    """
+
+    peak_rate: float
+    mix: WorkloadMix
+    period: float = 10.0
+    floor: float = 0.05
+    name: str = "diurnal"
+
+    def __post_init__(self):
+        if self.peak_rate <= 0:
+            raise ValueError(f"peak_rate must be positive, got {self.peak_rate}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0 <= self.floor < 1:
+            raise ValueError(f"floor must be in [0, 1), got {self.floor}")
+
+    def rate_at(self, time: float) -> float:
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * time / self.period))
+        return self.peak_rate * (self.floor + (1.0 - self.floor) * phase)
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        times = []
+        now = rng.expovariate(self.peak_rate)
+        while now < duration:
+            if rng.random() < self.rate_at(now) / self.peak_rate:
+                times.append(now)
+            now += rng.expovariate(self.peak_rate)
+        return _requests(times, self.mix, rng)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "peak_rate": self.peak_rate,
+                "period": self.period, "floor": self.floor, "mix": self.mix.to_dict()}
+
+
+@dataclass(frozen=True)
+class ReplayTraffic:
+    """Replay of an explicit ``(time, model)`` trace (seed is ignored)."""
+
+    trace: tuple[tuple[float, str], ...]
+    name: str = "replay"
+
+    def __post_init__(self):
+        for time, model in self.trace:
+            if time < 0:
+                raise ValueError(f"trace times must be non-negative, got {time}")
+            if model not in list_workloads():
+                raise ValueError(f"unknown workload {model!r} in trace; available: "
+                                 + ", ".join(list_workloads()))
+
+    @classmethod
+    def from_records(cls, records: Iterable[Sequence[object]]) -> "ReplayTraffic":
+        """Build from ``[[time, model], ...]`` records (e.g. parsed JSON)."""
+
+        return cls(tuple((float(time), str(model)) for time, model in records))
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        _check_duration(duration)
+        ordered = sorted(entry for entry in self.trace if entry[0] < duration)
+        return [Request(index=index, model=model, arrival=time)
+                for index, (time, model) in enumerate(ordered)]
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "trace_length": len(self.trace)}
+
+
+def make_traffic(pattern: str, rate: float, models: Sequence[str],
+                 weights: Sequence[float] | None = None, *,
+                 period: float = 10.0,
+                 trace: Iterable[Sequence[object]] | None = None) -> TrafficPattern:
+    """Build a traffic pattern by name (the CLI entry point).
+
+    ``rate`` is the mean (Poisson/bursty) or peak (diurnal) arrival rate in
+    requests per second; ``replay`` requires ``trace`` and ignores the rest.
+    """
+
+    if pattern == "replay":
+        if trace is None:
+            raise ValueError("replay traffic requires a trace")
+        return ReplayTraffic.from_records(trace)
+    mix = WorkloadMix.of(tuple(models), weights)
+    if pattern == "poisson":
+        return PoissonTraffic(rate, mix)
+    if pattern == "bursty":
+        return BurstyTraffic(rate, mix)
+    if pattern == "diurnal":
+        return DiurnalTraffic(rate, mix, period=period)
+    raise ValueError(f"unknown traffic pattern {pattern!r}; "
+                     f"available: {', '.join(TRAFFIC_PATTERNS)}")

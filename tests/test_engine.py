@@ -284,6 +284,51 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.stats().misses == 0
 
+    def test_lru_bound_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        specs = [RunSpec("deit-tiny", target="salo"),
+                 RunSpec("deit-small", target="salo"),
+                 RunSpec("levit-128", target="salo")]
+        for spec in specs:
+            simulate(spec, cache=cache)
+        assert len(cache) == 2
+        assert specs[0] not in cache         # least recently used went first
+        assert specs[1] in cache and specs[2] in cache
+        stats = cache.stats()
+        assert (stats.evictions, stats.max_entries) == (1, 2)
+
+    def test_lru_hit_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        first = RunSpec("deit-tiny", target="salo")
+        second = RunSpec("deit-small", target="salo")
+        simulate(first, cache=cache)
+        simulate(second, cache=cache)
+        simulate(first, cache=cache)         # hit: first is now most recent
+        simulate(RunSpec("levit-128", target="salo"), cache=cache)
+        assert first in cache
+        assert second not in cache
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ResultCache()
+        for model in list_workloads():
+            simulate(RunSpec(model, target="salo"), cache=cache)
+        stats = cache.stats()
+        assert stats.evictions == 0
+        assert stats.max_entries is None
+        assert stats.size == len(list_workloads())
+
+    def test_lru_validation_and_stats_dict(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+        cache = ResultCache(max_entries=1)
+        simulate(RunSpec("deit-tiny", target="salo"), cache=cache)
+        payload = cache.stats().to_dict()
+        assert payload["size"] == 1
+        assert payload["max_entries"] == 1
+        assert payload["hit_rate"] == 0.0
+        cache.clear()
+        assert cache.stats().evictions == 0
+
     def test_kwargs_form(self):
         cache = ResultCache()
         result = simulate("deit-tiny", target="salo", cache=cache)
@@ -321,6 +366,22 @@ class TestSweep:
         assert (second.misses, second.hits) == (0, expected)
         assert [r.end_to_end_latency for r in second.results] == \
                [r.end_to_end_latency for r in first.results]
+
+    def test_over_models_and_over_targets_accept_iterables(self):
+        """The builder path fleet specs share: iterables in, duplicates out."""
+
+        from_iterables = Sweep().over_models(["deit-tiny", "deit-tiny"]) \
+                                .over_targets(("vitality", "sanger", "vitality"))
+        from_varargs = Sweep().over_models("deit-tiny") \
+                              .over_targets("vitality", "sanger")
+        assert list(from_iterables.expand()) == list(from_varargs.expand())
+        assert len(list(from_iterables.expand())) == 2
+
+    def test_over_models_rejects_non_names(self):
+        with pytest.raises(TypeError, match="over_models"):
+            Sweep().over_models([1, 2])
+        with pytest.raises(TypeError, match="over_targets"):
+            Sweep().over_targets(["vitality", None])
 
     def test_rows_and_dict(self):
         outcome = Sweep().models("deit-tiny").targets("salo").run(cache=ResultCache())

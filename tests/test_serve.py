@@ -1,0 +1,329 @@
+"""Tests for the serving simulator: traffic, batching, routing, determinism."""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+import pytest
+
+from repro.serve import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    FIFOPolicy,
+    Fleet,
+    PoissonTraffic,
+    ReplayTraffic,
+    Request,
+    SizeBatchPolicy,
+    TimeoutBatchPolicy,
+    WorkloadMix,
+    compare,
+    make_policy,
+    make_router,
+    make_traffic,
+    percentile,
+    serve,
+)
+
+MIX = WorkloadMix.of(["deit-tiny"])
+MIXED = WorkloadMix.of(["deit-tiny", "levit-128"], weights=[1.0, 1.0])
+
+
+class TestTraffic:
+    def test_poisson_rate_and_determinism(self):
+        traffic = PoissonTraffic(rate=200.0, mix=MIX)
+        first = traffic.arrivals(10.0, seed=1)
+        second = traffic.arrivals(10.0, seed=1)
+        assert first == second
+        # Mean count is rate * duration; 2000 expected, sigma ~45.
+        assert 1700 < len(first) < 2300
+        assert all(0 <= r.arrival < 10.0 for r in first)
+        assert [r.index for r in first] == list(range(len(first)))
+
+    def test_different_seeds_differ(self):
+        traffic = PoissonTraffic(rate=100.0, mix=MIX)
+        assert traffic.arrivals(5.0, seed=0) != traffic.arrivals(5.0, seed=1)
+
+    def test_mix_draws_every_model(self):
+        traffic = PoissonTraffic(rate=500.0, mix=MIXED)
+        models = {r.model for r in traffic.arrivals(2.0, seed=0)}
+        assert models == {"deit-tiny", "levit-128"}
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Max arrivals in any 100ms window should exceed Poisson's under
+        the same mean-ish rate."""
+
+        def peak_window(requests, window=0.1):
+            times = [r.arrival for r in requests]
+            return max(sum(1 for t in times if start <= t < start + window)
+                       for start in [w * window for w in range(100)])
+
+        poisson = PoissonTraffic(rate=200.0, mix=MIX).arrivals(10.0, seed=3)
+        bursty = BurstyTraffic(rate=200.0, mix=MIX).arrivals(10.0, seed=3)
+        assert peak_window(bursty) > peak_window(poisson)
+
+    def test_diurnal_peak_vs_trough(self):
+        traffic = DiurnalTraffic(peak_rate=400.0, mix=MIX, period=10.0)
+        assert traffic.rate_at(0.0) == pytest.approx(400.0 * traffic.floor)
+        assert traffic.rate_at(5.0) == pytest.approx(400.0)
+        requests = traffic.arrivals(10.0, seed=0)
+        trough = sum(1 for r in requests if r.arrival < 1.0 or r.arrival >= 9.0)
+        peak = sum(1 for r in requests if 4.0 <= r.arrival < 6.0)
+        assert peak > 3 * trough
+
+    def test_replay_orders_and_truncates(self):
+        traffic = ReplayTraffic.from_records(
+            [[0.5, "deit-tiny"], [0.1, "levit-128"], [9.0, "deit-tiny"]])
+        requests = traffic.arrivals(1.0, seed=0)
+        assert [(r.arrival, r.model) for r in requests] == \
+               [(0.1, "levit-128"), (0.5, "deit-tiny")]
+
+    def test_mix_merges_duplicate_models(self):
+        mix = WorkloadMix.of(["deit-tiny", "deit-tiny", "levit-128"],
+                             weights=[1.0, 2.0, 3.0])
+        assert mix.to_dict() == {"deit-tiny": 3.0, "levit-128": 3.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            WorkloadMix.of(["resnet-50"])
+        with pytest.raises(ValueError, match="positive"):
+            PoissonTraffic(rate=0.0, mix=MIX)
+        with pytest.raises(ValueError, match="duration"):
+            PoissonTraffic(rate=1.0, mix=MIX).arrivals(0.0, seed=0)
+        with pytest.raises(ValueError, match="unknown traffic"):
+            make_traffic("square-wave", 1.0, ["deit-tiny"])
+        with pytest.raises(ValueError, match="trace"):
+            make_traffic("replay", 1.0, ["deit-tiny"])
+
+
+def _queued(*models: str, start: float = 0.0, step: float = 0.01):
+    return deque(Request(index=i, model=m, arrival=start + i * step)
+                 for i, m in enumerate(models))
+
+
+class TestBatchingPolicies:
+    def test_fifo_takes_one(self):
+        queue = _queued("deit-tiny", "deit-tiny")
+        batch = FIFOPolicy().take(queue, now=1.0, draining=False)
+        assert [r.index for r in batch] == [0]
+        assert len(queue) == 1
+
+    def test_size_waits_below_threshold_then_fires(self):
+        policy = SizeBatchPolicy(batch_size=3)
+        queue = _queued("deit-tiny", "deit-tiny")
+        assert policy.take(queue, now=1.0, draining=False) is None
+        queue = _queued("deit-tiny", "deit-tiny", "deit-tiny", "deit-tiny")
+        batch = policy.take(queue, now=1.0, draining=False)
+        assert [r.index for r in batch] == [0, 1, 2]
+        assert [r.index for r in queue] == [3]
+
+    def test_size_flushes_partial_batch_on_drain(self):
+        queue = _queued("deit-tiny")
+        batch = SizeBatchPolicy(batch_size=8).take(queue, now=1.0, draining=True)
+        assert len(batch) == 1 and not queue
+
+    def test_batches_are_single_model(self):
+        queue = _queued("deit-tiny", "levit-128", "deit-tiny")
+        batch = SizeBatchPolicy(batch_size=2).take(queue, now=1.0, draining=False)
+        assert [r.model for r in batch] == ["deit-tiny", "deit-tiny"]
+        assert [r.model for r in queue] == ["levit-128"]
+
+    def test_timeout_fires_on_oldest_wait(self):
+        policy = TimeoutBatchPolicy(timeout=0.5, max_batch=8)
+        queue = _queued("deit-tiny", "deit-tiny")
+        assert policy.take(queue, now=0.4, draining=False) is None
+        assert policy.deadline(queue) == pytest.approx(0.5)
+        batch = policy.take(queue, now=0.5, draining=False)
+        assert len(batch) == 2
+
+    def test_timeout_fires_early_on_full_batch(self):
+        policy = TimeoutBatchPolicy(timeout=10.0, max_batch=2)
+        queue = _queued("deit-tiny", "deit-tiny", "deit-tiny")
+        batch = policy.take(queue, now=0.0, draining=False)
+        assert len(batch) == 2
+
+    def test_make_policy_names(self):
+        assert make_policy("fifo").name == "fifo"
+        assert make_policy("size", batch_size=4).batch_size == 4
+        assert make_policy("timeout", timeout=1e-3).timeout == 1e-3
+        with pytest.raises(ValueError, match="unknown batching"):
+            make_policy("earliest-deadline")
+
+
+class TestFleet:
+    def test_parse_counts_and_attention(self):
+        fleet = Fleet.parse("2xvitality,1xgpu:taylor,sanger")
+        labels = [replica.name for replica in fleet.replicas]
+        assert labels == ["vitality#0", "vitality#1", "gpu:taylor#0", "sanger#0"]
+        assert fleet.describe() == "2xvitality,1xgpu:taylor,1xsanger"
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            Fleet.parse("2xtpu")
+        with pytest.raises(ValueError):
+            Fleet.parse("")
+        with pytest.raises(ValueError, match="attention"):
+            Fleet.parse("1xgpu:softermax")
+
+    def test_warmup_sweeps_share_builder_path(self):
+        from repro.engine import ResultCache
+
+        fleet = Fleet.parse("2xvitality,1xgpu:taylor,1xgpu:vanilla")
+        sweeps = fleet.warmup_sweeps(["deit-tiny"], batch_sizes=(1, 4))
+        specs = [spec for builder in sweeps for spec in builder.expand()]
+        # 3 distinct (target, attention) kinds x 2 batch sizes; duplicates
+        # from the two vitality replicas collapse.
+        assert len(specs) == 6
+        cache = ResultCache()
+        fleet.warmup(["deit-tiny"], batch_sizes=(1, 4), cache=cache)
+        assert cache.stats().misses == 6
+
+
+class TestServeDeterminism:
+    CONFIG = dict(duration=1.5, seed=7)
+
+    def test_same_seed_bit_identical_report(self):
+        traffic = BurstyTraffic(rate=150.0, mix=MIXED)
+        first = serve(traffic, "2xvitality,1xgpu", policy="timeout", **self.CONFIG)
+        second = serve(traffic, "2xvitality,1xgpu", policy="timeout", **self.CONFIG)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_differs(self):
+        traffic = PoissonTraffic(rate=150.0, mix=MIX)
+        first = serve(traffic, "1xvitality", duration=1.0, seed=0)
+        second = serve(traffic, "1xvitality", duration=1.0, seed=1)
+        assert first.to_json() != second.to_json()
+
+    def test_single_request_identical_across_schedulers(self):
+        """The degenerate one-request run: every policy dispatches the lone
+        request immediately (drain flush), so the reports agree exactly."""
+
+        traffic = ReplayTraffic.from_records([[0.25, "deit-tiny"]])
+        rows = {}
+        for policy in ("fifo", "size", "timeout"):
+            report = serve(traffic, "1xvitality", policy=policy,
+                           duration=1.0, seed=0)
+            rows[policy] = (report.completed, report.latency.to_dict(),
+                            report.queue_wait.to_dict(),
+                            report.total_energy_joules)
+        assert rows["fifo"] == rows["size"] == rows["timeout"]
+        assert rows["fifo"][0] == 1
+
+    def test_matrix_traffic_x_policy_x_heterogeneous_fleet(self):
+        """The acceptance matrix: 3 traffic patterns x 3 policies on a
+        heterogeneous fleet, each cell deterministic and fully served."""
+
+        patterns = {
+            "poisson": PoissonTraffic(rate=80.0, mix=MIX),
+            "bursty": BurstyTraffic(rate=80.0, mix=MIX),
+            "diurnal": DiurnalTraffic(peak_rate=120.0, mix=MIX, period=1.0),
+        }
+        for name, traffic in patterns.items():
+            for policy in ("fifo", "size", "timeout"):
+                report = serve(traffic, "1xvitality,1xgpu", policy=policy,
+                               duration=1.0, seed=2)
+                again = serve(traffic, "1xvitality,1xgpu", policy=policy,
+                              duration=1.0, seed=2)
+                assert report.to_json() == again.to_json(), (name, policy)
+                assert report.completed == report.offered > 0, (name, policy)
+                assert report.latency.p50 <= report.latency.p95 <= \
+                       report.latency.p99 <= report.latency.max
+                assert report.throughput_rps > 0
+                assert report.energy_per_request_joules > 0
+                assert 0 <= report.slo_violation_rate <= 1
+
+
+class TestServeBehavior:
+    def test_all_requests_served_and_accounted(self):
+        traffic = PoissonTraffic(rate=100.0, mix=MIXED)
+        report = serve(traffic, "2xvitality", policy="size", duration=1.0, seed=0)
+        assert report.completed == report.offered
+        assert sum(r.requests for r in report.per_replica) == report.completed
+        assert report.total_energy_joules == pytest.approx(
+            sum(r.energy_joules for r in report.per_replica))
+
+    def test_batching_amortises_dispatch_overhead(self):
+        """Under saturating traffic, batching sustains more throughput than
+        one-at-a-time dispatch because the per-dispatch overhead amortises."""
+
+        traffic = PoissonTraffic(rate=2000.0, mix=MIX)
+        fifo = serve(traffic, "1xvitality", policy="fifo", duration=0.5, seed=0)
+        size = serve(traffic, "1xvitality", policy="size", duration=0.5, seed=0)
+        assert size.mean_batch_size > 4
+        assert size.throughput_rps > fifo.throughput_rps
+
+    def test_timeout_bounds_size_policy_tail(self):
+        traffic = PoissonTraffic(rate=100.0, mix=MIX)
+        size = serve(traffic, "2xvitality", policy="size", duration=2.0, seed=0)
+        timeout = serve(traffic, "2xvitality", policy="timeout", duration=2.0, seed=0)
+        assert timeout.latency.p99 < size.latency.p99
+
+    def test_taylor_fleet_outserves_vanilla_fleet(self):
+        """The acceptance criterion, directly: identical saturating traffic,
+        higher sustained throughput on the taylor-attention fleet."""
+
+        traffic = PoissonTraffic(rate=600.0, mix=MIX)
+        reports = compare(traffic, {"taylor": "2xvitality", "vanilla": "2xsanger"},
+                          policy="timeout", duration=1.0, seed=0)
+        assert (reports["taylor"].throughput_rps
+                > 1.2 * reports["vanilla"].throughput_rps)
+        assert (reports["taylor"].energy_per_request_joules
+                < reports["vanilla"].energy_per_request_joules)
+
+    def test_least_loaded_uses_whole_fleet(self):
+        traffic = PoissonTraffic(rate=800.0, mix=MIX)
+        report = serve(traffic, "2xvitality", router="least-loaded",
+                       duration=1.0, seed=0)
+        shares = [r.requests / report.completed for r in report.per_replica]
+        assert min(shares) > 0.25
+
+    def test_energy_aware_prefers_efficient_replicas(self):
+        """At light load every request stays on the accelerator; the GPU
+        replica only exists to absorb spills."""
+
+        traffic = PoissonTraffic(rate=50.0, mix=MIX)
+        report = serve(traffic, "1xvitality,1xgpu", router="energy-aware",
+                       duration=1.0, seed=0)
+        gpu = [r for r in report.per_replica if r.target == "gpu"][0]
+        assert gpu.requests == 0
+        assert make_router("energy-aware").name == "energy-aware"
+
+    def test_serve_uses_bounded_cache_and_reports_it(self):
+        traffic = PoissonTraffic(rate=200.0, mix=MIX)
+        report = serve(traffic, "1xvitality", policy="size", duration=1.0, seed=0)
+        assert report.cache.max_entries is not None
+        assert report.cache.misses > 0
+        assert report.cache.hits > report.cache.misses   # shapes are reused
+
+    def test_json_round_trip(self):
+        traffic = PoissonTraffic(rate=50.0, mix=MIX)
+        report = serve(traffic, "1xvitality", duration=0.5, seed=0)
+        payload = json.loads(report.to_json())
+        assert payload["completed"] == report.completed
+        assert payload["config"]["fleet"] == "1xvitality"
+        assert payload["per_replica"][0]["name"] == "vitality#0"
+        assert payload["cache"]["misses"] == report.cache.misses
+
+    def test_invalid_arguments(self):
+        traffic = PoissonTraffic(rate=10.0, mix=MIX)
+        with pytest.raises(ValueError, match="slo_seconds"):
+            serve(traffic, "1xvitality", duration=1.0, slo_seconds=0.0)
+        with pytest.raises(ValueError, match="dispatch_overhead"):
+            serve(traffic, "1xvitality", duration=1.0,
+                  dispatch_overhead_seconds=-1.0)
+        with pytest.raises(ValueError, match="unknown router"):
+            serve(traffic, "1xvitality", router="round-robin", duration=1.0)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 0.50) == 30.0
+        assert percentile(values, 0.95) == 50.0
+        assert percentile(values, 0.99) == 50.0
+        assert percentile([7.0], 0.99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile(values, 1.5)
