@@ -1,0 +1,60 @@
+"""Parallel sweep execution: Sweep.run(jobs=N) vs the serial path.
+
+Not a paper artifact — the execution-layer counterpart of the design-space
+exploration: the same cross product of design points, simulated serially and
+fanned out over worker processes.  The results must be identical (the
+simulators are deterministic); only the wall clock may differ.  On a
+single-core box process fan-out cannot win — the report records the measured
+ratio and the core count either way, and the speedup assertion only applies
+where parallel hardware exists.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine import ResultCache, Sweep
+
+#: A 40-design-point space: geometry x frequency around the Table III point.
+CONFIGS = tuple(f"pe={rows}x{columns}" for rows in (16, 32, 48, 64, 96)
+                for columns in (16, 32, 48, 64)) \
+        + tuple(f"freq={megahertz}mhz" for megahertz in range(100, 2100, 100))
+
+JOBS = 4
+
+
+def _build() -> Sweep:
+    return Sweep().all_models().targets("vitality").over_configs(CONFIGS)
+
+
+def sweep_parallel_study() -> dict[str, object]:
+    start = time.perf_counter()
+    serial = _build().run(cache=ResultCache())
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = _build().run(cache=ResultCache(), jobs=JOBS)
+    parallel_seconds = time.perf_counter() - start
+
+    assert serial.results == parallel.results        # identical, not just close
+    assert (serial.hits, serial.misses) == (parallel.hits, parallel.misses)
+    return {
+        "runs": len(serial.results),
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def test_sweep_parallel(benchmark, report):
+    rows = benchmark.pedantic(sweep_parallel_study, rounds=1, iterations=1)
+    report("Parallel sweep — serial vs jobs=4 over 40 design points x 7 models",
+           rows)
+    assert rows["runs"] == len(CONFIGS) * 7
+    # Fan-out can only pay for its process overhead when there are cores to
+    # fan out onto; on >= JOBS cores the simulation work must dominate.
+    if rows["cpus"] is not None and rows["cpus"] >= JOBS:
+        assert rows["speedup"] > 1.0, rows

@@ -7,7 +7,11 @@ Usage examples::
     python -m repro run fig11 --json          # Fig. 11 speedups as JSON
     python -m repro run fig13 --full          # training ablation with long settings
     python -m repro simulate deit-tiny --target sanger --json
+    python -m repro simulate deit-tiny --target "vitality[pe=32x32,freq=1ghz]"
     python -m repro sweep --models deit-tiny,levit-128 --targets vitality,sanger
+    python -m repro sweep --targets vitality,sanger --jobs 4       # parallel
+    python -m repro dse --pe 32x32,64x64 --freq 500mhz,1ghz --json # Pareto frontier
+    python -m repro --cache-dir .repro-cache dse --jobs 4          # persistent cache
     python -m repro accelerate deit-tiny      # accelerator vs baselines for one model
     python -m repro serve --rate 200 --duration 5 --fleet 2xvitality --policy timeout
 """
@@ -20,13 +24,17 @@ import json
 import sys
 
 from repro.engine import (
+    DiskResultCache,
+    ResultCache,
     RunSpec,
     Sweep,
     UnknownTargetError,
     get_target,
     list_targets,
     simulate,
+    split_configured_names,
 )
+from repro.experiments.dse_exps import explore_design_space
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
@@ -48,6 +56,9 @@ DEFAULT_BASELINES = ("sanger", "cpu", "edge_gpu", "gpu")
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="ViTALiTy (HPCA 2023) reproduction toolkit")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persist simulation results as JSON under DIR so "
+                             "repeated invocations skip simulated design points")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list experiments, models, attention modes and targets")
@@ -83,10 +94,32 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--models", default="",
                      help="comma-separated workload names (default: all)")
     swp.add_argument("--targets", default="vitality,sanger",
-                     help="comma-separated target names")
+                     help="comma-separated target names; design points "
+                          "configure inline, e.g. 'vitality[pe=32x32],sanger'")
     swp.add_argument("--batch-sizes", default="1", help="comma-separated batch sizes")
     swp.add_argument("--attention-only", action="store_true")
+    swp.add_argument("--jobs", type=int, metavar="N",
+                     help="simulate cache misses across N worker processes")
     swp.add_argument("--json", action="store_true")
+
+    dse = subparsers.add_parser(
+        "dse", help="design-space exploration: sweep microarchitecture knobs "
+                    "and report the latency/energy/area Pareto frontier")
+    dse.add_argument("--model", default="deit-tiny",
+                     help="workload to explore the space on")
+    dse.add_argument("--target", default="vitality",
+                     help="configurable target family to explore")
+    dse.add_argument("--pe", default=",".join(("32x32", "64x64", "128x128")),
+                     help="comma-separated PE-array geometries (ROWSxCOLS)")
+    dse.add_argument("--freq", default="250mhz,500mhz,1ghz",
+                     help="comma-separated clock frequencies")
+    dse.add_argument("--sram-kb", default="100,200,400",
+                     help="comma-separated buffer capacities in KB")
+    dse.add_argument("--jobs", type=int, metavar="N",
+                     help="simulate design points across N worker processes")
+    dse.add_argument("--json", action="store_true",
+                     help="print the full point cloud as JSON instead of the "
+                          "frontier table")
 
     srv = subparsers.add_parser("serve",
                                 help="discrete-event inference-serving simulation")
@@ -133,6 +166,14 @@ def _split_csv(text: str) -> tuple[str, ...]:
     return tuple(item.strip() for item in text.split(",") if item.strip())
 
 
+def _make_cache(arguments: argparse.Namespace) -> ResultCache | None:
+    """The run's result cache: disk-backed under ``--cache-dir``, else default."""
+
+    if arguments.cache_dir:
+        return DiskResultCache(arguments.cache_dir)
+    return None
+
+
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
@@ -176,7 +217,7 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
             include_linear=not arguments.attention_only,
             scale_to_peak=arguments.scale_to_peak,
         )
-        result = simulate(spec)
+        result = simulate(spec, cache=_make_cache(arguments))
     except (UnknownTargetError, KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
@@ -196,7 +237,7 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
     models = _split_csv(arguments.models) or tuple(list_workloads())
-    targets = _split_csv(arguments.targets)
+    targets = split_configured_names(arguments.targets)
     if not targets:
         return _fail("no targets given")
     try:
@@ -216,7 +257,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                              + ", ".join(list_workloads()))
         for target in targets:
             get_target(target)
-        outcome = builder.run()
+        outcome = builder.run(cache=_make_cache(arguments), jobs=arguments.jobs)
     except (UnknownTargetError, KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
@@ -224,8 +265,44 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print(json.dumps(outcome.to_dict(), indent=2))
     else:
         print(markdown_table(outcome.to_rows()))
+        disk = f", {outcome.disk_hits} from disk" if outcome.disk_hits else ""
         print(f"\n{len(outcome.results)} runs — cache: {outcome.hits} hits, "
-              f"{outcome.misses} misses")
+              f"{outcome.misses} misses{disk}")
+    return 0
+
+
+def _command_dse(arguments: argparse.Namespace) -> int:
+    try:
+        sram_kb = tuple(int(value) for value in _split_csv(arguments.sram_kb))
+    except ValueError:
+        return _fail(f"--sram-kb must be comma-separated integers, "
+                     f"got {arguments.sram_kb!r}")
+    pe = _split_csv(arguments.pe)
+    freq = _split_csv(arguments.freq)
+    if not (pe and freq and sram_kb):
+        return _fail("the design space needs at least one value per knob "
+                     "(--pe, --freq, --sram-kb)")
+    try:
+        payload = explore_design_space(
+            model=arguments.model, target=arguments.target,
+            pe=pe, freq=freq, sram_kb=sram_kb,
+            jobs=arguments.jobs, cache=_make_cache(arguments))
+    except (UnknownTargetError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(markdown_table(payload["pareto_frontier"],
+                             ["target", "latency_ms", "energy_mj", "area_mm2",
+                              "peak_gmacs"]))
+        cache_stats = payload["cache"]
+        disk = (f", {cache_stats['disk_hits']} from disk"
+                if cache_stats.get("disk_hits") else "")
+        print(f"\n{len(payload['pareto_frontier'])} Pareto-optimal of "
+              f"{payload['evaluated']} design points "
+              f"(objectives: {', '.join(payload['objectives'])}) — cache: "
+              f"{cache_stats['hits']} hits, {cache_stats['misses']} misses{disk}")
     return 0
 
 
@@ -281,7 +358,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
 def _command_accelerate(arguments: argparse.Namespace) -> int:
     model = arguments.model
-    baselines = _split_csv(arguments.baseline)
+    baselines = split_configured_names(arguments.baseline)
     if model not in list_workloads():
         return _fail(f"unknown model {model!r}; available: " + ", ".join(list_workloads()))
     if not baselines:
@@ -336,6 +413,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_simulate(arguments)
     if arguments.command == "sweep":
         return _command_sweep(arguments)
+    if arguments.command == "dse":
+        return _command_dse(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
     if arguments.command == "accelerate":

@@ -32,9 +32,11 @@ from repro.engine.cache import (
     DEFAULT_CACHE,
     ResultCache,
     cache_stats,
+    canonicalise_spec,
     clear_cache,
     simulate,
 )
+from repro.engine.store import DiskResultCache
 from repro.engine.results import LayerRecord, RunResult, StepRecord
 from repro.engine.spec import ATTENTION_MODES, DATAFLOWS, RunSpec, scale_workload_tokens
 from repro.engine.sweep import Sweep, SweepOutcome, sweep
@@ -48,6 +50,7 @@ from repro.engine.targets import (
     get_target,
     list_targets,
     register_target,
+    split_configured_names,
 )
 
 __all__ = [
@@ -55,6 +58,7 @@ __all__ = [
     "DATAFLOWS",
     "CacheStats",
     "DEFAULT_CACHE",
+    "DiskResultCache",
     "LayerRecord",
     "PlatformTarget",
     "ResultCache",
@@ -69,11 +73,13 @@ __all__ = [
     "UnknownTargetError",
     "VitalityTarget",
     "cache_stats",
+    "canonicalise_spec",
     "clear_cache",
     "get_target",
     "list_targets",
     "register_target",
     "scale_workload_tokens",
     "simulate",
+    "split_configured_names",
     "sweep",
 ]

@@ -25,6 +25,9 @@ class CacheStats:
     size: int
     evictions: int = 0
     max_entries: int | None = None
+    #: Results served from the persistent tier (always 0 for the in-memory
+    #: :class:`ResultCache`; see :class:`~repro.engine.DiskResultCache`).
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -34,7 +37,7 @@ class CacheStats:
     def to_dict(self) -> dict[str, object]:
         return {"hits": self.hits, "misses": self.misses, "size": self.size,
                 "evictions": self.evictions, "max_entries": self.max_entries,
-                "hit_rate": self.hit_rate}
+                "disk_hits": self.disk_hits, "hit_rate": self.hit_rate}
 
 
 class ResultCache:
@@ -109,6 +112,35 @@ class ResultCache:
 DEFAULT_CACHE = ResultCache()
 
 
+def _resolve(spec: RunSpec):
+    """(target, canonical spec) for one run request.
+
+    Two canonicalisations keep physically identical runs on one cache entry:
+    the target's name is normalised (configured names — ``vitality[...]`` —
+    sort their knobs, canonicalise values and drop reference settings), and
+    the target collapses spec options that are no-ops for it (e.g. a
+    ``scale_to_peak`` at or below ViTALiTy's native peak).
+    """
+
+    from dataclasses import replace
+
+    from repro.engine.targets import get_target
+
+    target = get_target(spec.target)
+    if target.name != spec.target:
+        spec = replace(spec, target=target.name)
+    canonicalise = getattr(target, "canonical_spec", None)
+    if canonicalise is not None:
+        spec = canonicalise(spec)
+    return target, spec
+
+
+def canonicalise_spec(spec: RunSpec) -> RunSpec:
+    """The exact spec :func:`simulate` would key the result cache on."""
+
+    return _resolve(spec)[1]
+
+
 def simulate(spec: RunSpec | str, *, cache: ResultCache | None = None,
              **spec_kwargs) -> RunResult:
     """Simulate one run, memoised through a result cache.
@@ -120,19 +152,11 @@ def simulate(spec: RunSpec | str, *, cache: ResultCache | None = None,
         simulate("deit-tiny", target="sanger")
     """
 
-    from repro.engine.targets import get_target
-
     if isinstance(spec, str):
         spec = RunSpec(spec, **spec_kwargs)
     elif spec_kwargs:
         raise TypeError("pass RunSpec kwargs only with a model name, not a RunSpec")
-    target = get_target(spec.target)
-    # Let the target collapse options that are no-ops for it (e.g. a
-    # scale_to_peak at or below ViTALiTy's native peak), so physically
-    # identical runs share one cache entry instead of re-simulating.
-    canonicalise = getattr(target, "canonical_spec", None)
-    if canonicalise is not None:
-        spec = canonicalise(spec)
+    target, spec = _resolve(spec)
     cache = DEFAULT_CACHE if cache is None else cache
     return cache.get_or_run(spec, lambda s: target.simulate(s))
 

@@ -30,6 +30,12 @@ class StepRecord:
             "energy_joules": self.energy_joules,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "StepRecord":
+        return cls(name=payload["name"], chunk=payload["chunk"],
+                   latency_seconds=payload["latency_seconds"],
+                   energy_joules=payload["energy_joules"])
+
 
 @dataclass(frozen=True)
 class LayerRecord:
@@ -52,6 +58,15 @@ class LayerRecord:
             "steps": [step.to_dict() for step in self.steps],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "LayerRecord":
+        return cls(name=payload["name"], kind=payload["kind"],
+                   repeats=payload["repeats"],
+                   latency_seconds=payload["latency_seconds"],
+                   energy_joules=payload["energy_joules"],
+                   steps=tuple(StepRecord.from_dict(step)
+                               for step in payload.get("steps", ())))
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -71,6 +86,9 @@ class RunResult:
             ViTALiTy targets report the Table V split ``data_access`` /
             ``other_processors`` / ``systolic_array`` of the attention module).
         layers: per-layer records with their step-level latency/energy.
+        config: canonical knob string of the design point the producing
+            target was configured with (``"pe=32x32,freq=1ghz"``); empty for
+            the reference (Table III) design points.
     """
 
     model: str
@@ -83,6 +101,7 @@ class RunResult:
     end_to_end_energy: float
     energy_breakdown: tuple[tuple[str, float], ...] = field(default_factory=tuple)
     layers: tuple[LayerRecord, ...] = field(default_factory=tuple)
+    config: str = ""
 
     def breakdown(self) -> dict[str, float]:
         """The energy breakdown as a plain dictionary."""
@@ -100,10 +119,31 @@ class RunResult:
             "linear_energy": self.linear_energy,
             "end_to_end_energy": self.end_to_end_energy,
             "energy_breakdown": self.breakdown(),
+            "config": self.config,
         }
         if include_layers:
             payload["layers"] = [layer.to_dict() for layer in self.layers]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (the disk-cache path)."""
+
+        return cls(
+            model=payload["model"],
+            target=payload["target"],
+            attention_latency=payload["attention_latency"],
+            linear_latency=payload["linear_latency"],
+            attention_energy=payload["attention_energy"],
+            linear_energy=payload["linear_energy"],
+            end_to_end_latency=payload["end_to_end_latency"],
+            end_to_end_energy=payload["end_to_end_energy"],
+            energy_breakdown=tuple((key, value) for key, value
+                                   in payload.get("energy_breakdown", {}).items()),
+            layers=tuple(LayerRecord.from_dict(layer)
+                         for layer in payload.get("layers", ())),
+            config=payload.get("config", ""),
+        )
 
     def to_json(self, include_layers: bool = False, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(include_layers=include_layers), indent=indent)

@@ -1,0 +1,94 @@
+"""On-disk JSON persistence for the result cache.
+
+A :class:`DiskResultCache` is a :class:`~repro.engine.ResultCache` whose
+misses fall through to a directory of JSON files before simulating, and
+whose simulated results are written back — so repeated CLI invocations and
+DSE re-runs skip already-simulated design points *across processes*::
+
+    repro --cache-dir .repro-cache dse ...     # first run simulates
+    repro --cache-dir .repro-cache dse ...     # second run reads JSON
+
+Entries are keyed by the SHA-256 of the canonical spec JSON and stored one
+file per run as ``{"spec": ..., "result": ...}`` — self-describing, greppable
+and safe to prune file-by-file.  Writes go through a per-process temp file
+and an atomic rename, so concurrent sweeps sharing a directory can only race
+benignly (both write the same deterministic payload).  Corrupt or truncated
+entries are treated as misses and overwritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.results import RunResult
+from repro.engine.spec import RunSpec
+
+
+class DiskResultCache(ResultCache):
+    """A result cache backed by a directory of one-JSON-file-per-run entries.
+
+    The in-memory tier (and its LRU bound, hit/miss accounting) behaves
+    exactly like :class:`ResultCache`; the directory adds a persistent tier
+    underneath it.  ``stats().disk_hits`` counts results served from disk
+    instead of simulation.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str],
+                 max_entries: int | None = None):
+        super().__init__(max_entries=max_entries)
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._disk_hits = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path(self, spec: RunSpec) -> Path:
+        key = json.dumps(spec.to_dict(), sort_keys=True)
+        return self._directory / f"{hashlib.sha256(key.encode()).hexdigest()}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return super().__contains__(spec) or self._path(spec).exists()
+
+    def get_or_run(self, spec: RunSpec,
+                   runner: Callable[[RunSpec], RunResult]) -> RunResult:
+        return super().get_or_run(spec, lambda s: self._load_or_run(s, runner))
+
+    def _load_or_run(self, spec: RunSpec,
+                     runner: Callable[[RunSpec], RunResult]) -> RunResult:
+        path = self._path(spec)
+        try:
+            payload = json.loads(path.read_text())
+            result = RunResult.from_dict(payload["result"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            pass                                   # absent or corrupt: simulate
+        else:
+            self._disk_hits += 1
+            return result
+        result = runner(spec)
+        payload = {"spec": spec.to_dict(),
+                   "result": result.to_dict(include_layers=True)}
+        scratch = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        scratch.write_text(json.dumps(payload))
+        scratch.replace(path)                      # atomic publish
+        return result
+
+    def stats(self) -> CacheStats:
+        base = super().stats()
+        return CacheStats(hits=base.hits, misses=base.misses, size=base.size,
+                          evictions=base.evictions, max_entries=base.max_entries,
+                          disk_hits=self._disk_hits)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier and delete every on-disk entry."""
+
+        super().clear()
+        self._disk_hits = 0
+        for entry in self._directory.glob("*.json"):
+            entry.unlink(missing_ok=True)

@@ -15,13 +15,25 @@ sweep that revisits pairs another figure already simulated costs nothing::
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.engine.cache import DEFAULT_CACHE, ResultCache, simulate
+from repro.engine.cache import DEFAULT_CACHE, ResultCache, canonicalise_spec, simulate
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
 from repro.workloads import list_workloads
+
+
+def _simulate_fresh(spec: RunSpec) -> RunResult:
+    """Worker entry point for parallel sweeps (must be module-level to pickle).
+
+    Runs through the worker process's own default cache; the parent inserts
+    the returned result into the sweep's cache, so parallel and serial runs
+    leave identical cache states behind.
+    """
+
+    return simulate(spec)
 
 
 @dataclass(frozen=True)
@@ -32,6 +44,9 @@ class SweepOutcome:
     results: tuple[RunResult, ...]
     hits: int
     misses: int
+    #: Of the misses, how many were served from a persistent tier instead of
+    #: simulation (only nonzero through a :class:`~repro.engine.DiskResultCache`).
+    disk_hits: int = 0
 
     def to_rows(self) -> list[dict[str, object]]:
         """Flat per-run rows, ready for markdown/JSON reporting."""
@@ -53,7 +68,8 @@ class SweepOutcome:
         return {
             "runs": [dict(spec=spec.to_dict(), result=result.to_dict())
                      for spec, result in zip(self.specs, self.results)],
-            "cache": {"hits": self.hits, "misses": self.misses},
+            "cache": {"hits": self.hits, "misses": self.misses,
+                      "disk_hits": self.disk_hits},
         }
 
 
@@ -81,6 +97,7 @@ class Sweep:
 
     _models: tuple[str, ...] | None = None
     _targets: tuple[str, ...] = ("vitality",)
+    _configs: tuple[str | None, ...] = (None,)
     _attentions: tuple[str | None, ...] = (None,)
     _batch_sizes: tuple[int, ...] = (1,)
     _token_counts: tuple[int | None, ...] = (None,)
@@ -119,6 +136,20 @@ class Sweep:
         self._targets = _unique_names(names, "over_targets")
         return self
 
+    def over_configs(self, *knob_strings) -> "Sweep":
+        """Set a design-point axis of knob strings crossed with the targets.
+
+        Each value is a bracketed-name body such as ``"pe=32x32,freq=1ghz"``;
+        the expansion runs every target at every design point
+        (``vitality[pe=32x32,freq=1ghz]``).  An empty string means the
+        target's reference design point, so ``over_configs("", "pe=32x32")``
+        compares a scaled design against Table III.  Accepts varargs or one
+        iterable, deduplicated, like :meth:`over_models`.
+        """
+
+        self._configs = _unique_names(knob_strings, "over_configs")
+        return self
+
     def attentions(self, *modes: str | None) -> "Sweep":
         self._attentions = tuple(modes)
         return self
@@ -143,36 +174,92 @@ class Sweep:
         """Yield the cross product as :class:`RunSpec` instances."""
 
         models = self._models if self._models is not None else tuple(list_workloads())
-        for model, target, attention, batch, tokens, dataflow in itertools.product(
-                models, self._targets, self._attentions, self._batch_sizes,
-                self._token_counts, self._dataflows):
+        for model, target, config, attention, batch, tokens, dataflow in itertools.product(
+                models, self._targets, self._configs, self._attentions,
+                self._batch_sizes, self._token_counts, self._dataflows):
+            if config:
+                if "[" in target:
+                    raise ValueError(
+                        f"cannot apply over_configs knobs {config!r} to the "
+                        f"already-configured target {target!r}")
+                target = f"{target}[{config}]"
             yield RunSpec(model=model, target=target, attention=attention,
                           batch_size=batch, tokens=tokens, dataflow=dataflow,
                           include_linear=self._include_linear)
 
-    def run(self, cache: ResultCache | None = None) -> SweepOutcome:
-        """Execute every run in the product through the (shared) result cache."""
+    def run(self, cache: ResultCache | None = None,
+            jobs: int | None = None) -> SweepOutcome:
+        """Execute every run in the product through the (shared) result cache.
+
+        With ``jobs`` > 1, cache misses fan out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; the simulators are
+        deterministic, so the outcome — results *and* cache accounting — is
+        identical to the serial path, only the wall clock changes.
+        """
 
         cache = DEFAULT_CACHE if cache is None else cache
         before = cache.stats()
         specs = tuple(self.expand())
-        results = tuple(simulate(spec, cache=cache) for spec in specs)
+        if jobs is not None and jobs > 1 and len(specs) > 1:
+            results = tuple(self._run_parallel(specs, cache, jobs))
+        else:
+            results = tuple(simulate(spec, cache=cache) for spec in specs)
         after = cache.stats()
         return SweepOutcome(specs=specs, results=results,
                             hits=after.hits - before.hits,
-                            misses=after.misses - before.misses)
+                            misses=after.misses - before.misses,
+                            disk_hits=after.disk_hits - before.disk_hits)
+
+    @staticmethod
+    def _run_parallel(specs: Sequence[RunSpec], cache: ResultCache,
+                      jobs: int) -> list[RunResult]:
+        """Simulate uncached specs in worker processes, then replay the
+        serial cache protocol in order (first occurrence a miss, repeats
+        hits) so parallel accounting matches the serial path exactly.
+
+        Specs whose target a fresh worker could not reproduce — registered
+        after import, or replacing a built-in — are simulated in this
+        process instead of being shipped out (a worker would crash on the
+        unknown name, or silently answer with the import-time backend).
+        """
+
+        from repro.engine.targets import get_target, is_import_time_target
+
+        canonical = [canonicalise_spec(spec) for spec in specs]
+        pending = [spec for spec in dict.fromkeys(canonical)
+                   if spec not in cache and is_import_time_target(spec.target)]
+        computed: dict[RunSpec, RunResult] = {}
+        if pending:
+            workers = min(jobs, len(pending))
+            chunksize = max(1, len(pending) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = dict(zip(pending, pool.map(_simulate_fresh, pending,
+                                                      chunksize=chunksize)))
+
+        def runner(spec: RunSpec) -> RunResult:
+            # Locally-registered targets, plus duplicates whose first
+            # occurrence an LRU-bounded cache already evicted, simulate
+            # inline — straight through the target, so no cache but the
+            # sweep's own sees the run (the spec is already canonical).
+            return computed[spec] if spec in computed \
+                else get_target(spec.target).simulate(spec)
+
+        return [cache.get_or_run(spec, runner) for spec in canonical]
 
 
 def sweep(models: Sequence[str], targets: Sequence[str],
-          cache: ResultCache | None = None, **axes) -> SweepOutcome:
+          cache: ResultCache | None = None, jobs: int | None = None,
+          **axes) -> SweepOutcome:
     """One-call convenience wrapper around :class:`Sweep`.
 
     ``axes`` may set ``attentions``, ``batch_sizes``, ``token_counts``,
-    ``dataflows`` (sequences) or ``include_linear`` (bool).
+    ``dataflows``, ``over_configs`` (sequences) or ``include_linear``
+    (bool); ``jobs`` enables the parallel execution path.
     """
 
     builder = Sweep().models(*models).targets(*targets)
-    valid_axes = ("attentions", "batch_sizes", "token_counts", "dataflows")
+    valid_axes = ("attentions", "batch_sizes", "token_counts", "dataflows",
+                  "over_configs")
     for axis, values in axes.items():
         if axis == "include_linear":
             if not values:
@@ -182,4 +269,4 @@ def sweep(models: Sequence[str], targets: Sequence[str],
             raise TypeError(f"unknown sweep axis {axis!r}; expected one of "
                             f"{valid_axes} or include_linear")
         getattr(builder, axis)(*values)
-    return builder.run(cache=cache)
+    return builder.run(cache=cache, jobs=jobs)

@@ -14,21 +14,39 @@ Targets are looked up by name in a registry; the default registry covers the
 paper's full evaluation matrix (``vitality`` and its dataflow/pipelining
 variants, ``sanger``, ``salo``, and the ``cpu`` / ``edge_gpu`` / ``gpu``
 platforms).  New hardware backends plug in via :func:`register_target`.
+
+Beyond the registered names, :func:`get_target` understands *configured*
+names — ``vitality[pe=32x32,freq=1ghz]`` — which parse the bracketed knob
+string with the base target's family schema
+(:mod:`repro.hardware.core.knobs`) and build a design-point instance on
+demand.  Configured names are canonicalised (knobs sorted, values
+normalised, reference values dropped) and the resulting instances cached, so
+every spelling of one physical design point resolves to one target object —
+and therefore one set of result-cache entries.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.engine.results import LayerRecord, RunResult, StepRecord
 from repro.engine.spec import RunSpec
 from repro.hardware import (
     Dataflow,
+    HardwareConfig,
     ModelResult,
+    PLATFORM_SCHEMA,
+    SALO_SCHEMA,
     SALOAccelerator,
+    SANGER_SCHEMA,
     SangerAccelerator,
+    VITALITY_SCHEMA,
     ViTALiTyAccelerator,
+    build_platform,
+    build_salo_configs,
+    build_sanger_config,
+    build_vitality_config,
     get_platform,
 )
 from repro.workloads import ModelWorkload
@@ -54,6 +72,31 @@ class Target(Protocol):
         ...
 
 
+def split_configured_names(text: str) -> tuple[str, ...]:
+    """Split a comma-separated name list, ignoring commas inside ``[...]``.
+
+    ``"vitality[pe=32x32,freq=1ghz],sanger"`` has a knob-separating comma a
+    naive ``text.split(",")`` would cut at; this is the splitter every
+    name-list consumer (the CLI, fleet specs) shares.
+    """
+
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    for character in text:
+        if character == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        if character == "[":
+            depth += 1
+        elif character == "]":
+            depth = max(0, depth - 1)
+        current.append(character)
+    parts.append("".join(current))
+    return tuple(part.strip() for part in parts if part.strip())
+
+
 def _check_attention_mode(spec: RunSpec, native: str, target: str) -> None:
     if spec.attention is not None and spec.attention != native:
         raise ValueError(
@@ -76,13 +119,13 @@ def _reject_unsupported(spec: RunSpec, target: str, *fields: str) -> None:
 
 def _batch_scaled(spec: RunSpec, result: ModelResult,
                   breakdown: dict[str, float], layers: tuple[LayerRecord, ...],
-                  target: str) -> RunResult:
+                  target: "Target") -> RunResult:
     """Normalise a cycle-level :class:`ModelResult` into a :class:`RunResult`."""
 
     batch = spec.batch_size
     return RunResult(
         model=result.model,
-        target=target,
+        target=target.name,
         attention_latency=result.attention_latency * batch,
         linear_latency=result.linear_latency * batch,
         attention_energy=result.attention_energy * batch,
@@ -91,6 +134,7 @@ def _batch_scaled(spec: RunSpec, result: ModelResult,
         end_to_end_energy=result.end_to_end_energy * batch,
         energy_breakdown=tuple((key, value * batch) for key, value in breakdown.items()),
         layers=layers,
+        config=getattr(target, "config_text", ""),
     )
 
 
@@ -148,24 +192,39 @@ class VitalityTarget:
     """The ViTALiTy accelerator (Section IV), with optional variant defaults.
 
     ``dataflow`` / ``pipelined`` set the variant's defaults; a
-    :class:`RunSpec` may still override either per run.
+    :class:`RunSpec` may still override either per run.  ``design`` selects a
+    non-reference design point (see :data:`~repro.hardware.VITALITY_SCHEMA`
+    for the knobs).
     """
+
+    knob_schema = VITALITY_SCHEMA
 
     def __init__(self, name: str = "vitality",
                  dataflow: Dataflow = Dataflow.DOWN_FORWARD,
                  pipelined: bool = True,
-                 default_peak: float | None = None):
+                 default_peak: float | None = None,
+                 design: HardwareConfig | None = None):
         self.name = name
         self.default_dataflow = dataflow
         self.default_pipelined = pipelined
         self.default_peak = default_peak
+        self.design = design
+        self.config_text = self.knob_schema.render(design) if design is not None else ""
+        self._config = build_vitality_config(design)
+
+    def configured(self, name: str, design: HardwareConfig) -> "VitalityTarget":
+        """This variant at another design point (the ``name[...]`` factory)."""
+
+        return VitalityTarget(name, dataflow=self.default_dataflow,
+                              pipelined=self.default_pipelined, design=design)
 
     def _accelerator(self, spec: RunSpec) -> ViTALiTyAccelerator:
         dataflow = (Dataflow(spec.dataflow) if spec.dataflow is not None
                     else self.default_dataflow)
         pipelined = (spec.pipelined if spec.pipelined is not None
                      else self.default_pipelined)
-        accelerator = ViTALiTyAccelerator(dataflow=dataflow, pipelined=pipelined)
+        accelerator = ViTALiTyAccelerator(self._config, dataflow=dataflow,
+                                          pipelined=pipelined)
         peak = spec.scale_to_peak if spec.scale_to_peak is not None else self.default_peak
         if peak is not None and peak > accelerator.peak_macs_per_second:
             accelerator = accelerator.scaled_to_peak(peak)
@@ -173,7 +232,14 @@ class VitalityTarget:
 
     @property
     def peak_macs_per_second(self) -> float:
-        return ViTALiTyAccelerator().peak_macs_per_second
+        pes = self._config.sa_general.lanes + self._config.sa_diag.lanes
+        return pes * self._config.frequency_hz
+
+    @property
+    def area_mm2(self) -> float:
+        """Silicon area of this design point (the DSE Pareto axis)."""
+
+        return self._config.total_area_mm2
 
     def canonical_spec(self, spec: RunSpec) -> RunSpec:
         """Drop a ``scale_to_peak`` at or below the native peak (a no-op).
@@ -194,7 +260,8 @@ class VitalityTarget:
         return VitalityTarget(f"{self.name}@{peak_macs_per_second:.3g}macs",
                               dataflow=self.default_dataflow,
                               pipelined=self.default_pipelined,
-                              default_peak=peak_macs_per_second)
+                              default_peak=peak_macs_per_second,
+                              design=self.design)
 
     def simulate(self, spec: RunSpec) -> RunResult:
         _check_attention_mode(spec, "taylor", self.name)
@@ -203,29 +270,41 @@ class VitalityTarget:
         result = accelerator.run_model(workload, include_linear=spec.include_linear)
         layers = _layer_records(result, workload, spec.include_linear)
         breakdown = _table5_breakdown(layers)
-        return _batch_scaled(spec, result, breakdown, layers, self.name)
+        return _batch_scaled(spec, result, breakdown, layers, self)
 
 
 class SangerTarget:
     """The Sanger sparse-attention accelerator baseline (MICRO 2021)."""
 
-    def __init__(self, name: str = "sanger"):
+    knob_schema = SANGER_SCHEMA
+
+    def __init__(self, name: str = "sanger",
+                 design: HardwareConfig | None = None):
         self.name = name
+        self.design = design
+        self.config_text = self.knob_schema.render(design) if design is not None else ""
+        self._config = build_sanger_config(design)
+
+    def configured(self, name: str, design: HardwareConfig) -> "SangerTarget":
+        return SangerTarget(name, design=design)
 
     @property
     def peak_macs_per_second(self) -> float:
-        accelerator = SangerAccelerator()
-        return accelerator.config.re_pe_array.lanes * accelerator.config.frequency_hz
+        return self._config.re_pe_array.lanes * self._config.frequency_hz
+
+    @property
+    def area_mm2(self) -> float:
+        return self._config.total_area_mm2
 
     def simulate(self, spec: RunSpec) -> RunResult:
         _check_attention_mode(spec, "vanilla", self.name)
         _reject_unsupported(spec, self.name, "dataflow", "pipelined", "scale_to_peak")
-        accelerator = SangerAccelerator()
+        accelerator = SangerAccelerator(self._config)
         workload = spec.workload()
         result = accelerator.run_model(workload, include_linear=spec.include_linear)
         breakdown = {"attention": result.attention_energy, "linear": result.linear_energy}
         layers = _layer_records(result, workload, spec.include_linear)
-        return _batch_scaled(spec, result, breakdown, layers, self.name)
+        return _batch_scaled(spec, result, breakdown, layers, self)
 
 
 class SALOTarget:
@@ -235,13 +314,25 @@ class SALOTarget:
     zero regardless of ``include_linear``.
     """
 
-    def __init__(self, name: str = "salo"):
+    knob_schema = SALO_SCHEMA
+
+    def __init__(self, name: str = "salo",
+                 design: HardwareConfig | None = None):
         self.name = name
+        self.design = design
+        self.config_text = self.knob_schema.render(design) if design is not None else ""
+        self._budget, self._pattern = build_salo_configs(design)
+
+    def configured(self, name: str, design: HardwareConfig) -> "SALOTarget":
+        return SALOTarget(name, design=design)
 
     @property
     def peak_macs_per_second(self) -> float:
-        accelerator = SALOAccelerator()
-        return accelerator.budget.sa_general.lanes * accelerator.budget.frequency_hz
+        return self._budget.sa_general.lanes * self._budget.frequency_hz
+
+    @property
+    def area_mm2(self) -> float:
+        return self._budget.total_area_mm2
 
     def canonical_spec(self, spec: RunSpec) -> RunSpec:
         """``include_linear`` is a no-op here (SALO models attention only)."""
@@ -253,12 +344,12 @@ class SALOTarget:
     def simulate(self, spec: RunSpec) -> RunResult:
         _check_attention_mode(spec, "vanilla", self.name)
         _reject_unsupported(spec, self.name, "dataflow", "pipelined", "scale_to_peak")
-        accelerator = SALOAccelerator()
+        accelerator = SALOAccelerator(self._budget, self._pattern)
         workload = spec.workload()
         result = accelerator.run_model(workload)
         breakdown = {"attention": result.attention_energy, "linear": 0.0}
         layers = _layer_records(result, workload, include_linear=False)
-        return _batch_scaled(spec, result, breakdown, layers, self.name)
+        return _batch_scaled(spec, result, breakdown, layers, self)
 
 
 class PlatformTarget:
@@ -268,9 +359,17 @@ class PlatformTarget:
     ``vanilla`` softmax attention (the paper's baseline configuration).
     """
 
-    def __init__(self, name: str):
+    knob_schema = PLATFORM_SCHEMA
+
+    def __init__(self, name: str, base: str | None = None,
+                 design: HardwareConfig | None = None):
         self.name = name
-        self.platform = get_platform(name)
+        self.design = design
+        self.config_text = self.knob_schema.render(design) if design is not None else ""
+        self.platform = build_platform(get_platform(base or name), design)
+
+    def configured(self, name: str, design: HardwareConfig) -> "PlatformTarget":
+        return PlatformTarget(name, base=self.platform.name, design=design)
 
     @property
     def peak_macs_per_second(self) -> float:
@@ -319,6 +418,7 @@ class PlatformTarget:
             energy_breakdown=(("attention", attention_latency * power * batch),
                               ("linear", linear_latency * power * batch)),
             layers=layers,
+            config=self.config_text,
         )
 
 
@@ -327,15 +427,19 @@ class PlatformTarget:
 # ---------------------------------------------------------------------------------
 
 _TARGETS: dict[str, Target] = {}
+#: Design-point instances materialised from ``name[knob=...]`` lookups,
+#: keyed by their canonical configured name.
+_CONFIGURED: dict[str, Target] = {}
 
 
 def register_target(target: Target, replace: bool = False) -> Target:
     """Register a target under its ``name`` (``replace=True`` to override).
 
-    Replacing a target evicts its memoised results from the default cache so
-    the new backend cannot be shadowed by its predecessor's numbers.
-    (Privately held :class:`~repro.engine.ResultCache` instances must be
-    invalidated by their owners.)
+    Replacing a target evicts its memoised results from the default cache —
+    and drops every configured instance derived from it — so the new backend
+    cannot be shadowed by its predecessor's numbers.  (Privately held
+    :class:`~repro.engine.ResultCache` instances must be invalidated by
+    their owners.)
     """
 
     if target.name in _TARGETS:
@@ -343,19 +447,55 @@ def register_target(target: Target, replace: bool = False) -> Target:
             raise ValueError(f"target {target.name!r} is already registered")
         from repro.engine.cache import DEFAULT_CACHE
         DEFAULT_CACHE.invalidate_target(target.name)
+        derived = [name for name in _CONFIGURED
+                   if name.partition("[")[0] == target.name]
+        for name in derived:
+            del _CONFIGURED[name]
+            DEFAULT_CACHE.invalidate_target(name)
     _TARGETS[target.name] = target
     return target
 
 
+def _configured_target(name: str) -> Target:
+    """Resolve ``base[knob=value,...]`` to a cached design-point instance."""
+
+    base_name, _, bracketed = name.partition("[")
+    knob_text = bracketed[:-1]                      # drop the trailing "]"
+    try:
+        base = _TARGETS[base_name]
+    except KeyError:
+        raise UnknownTargetError(
+            f"unknown target {base_name!r} in configured name {name!r}; "
+            f"available: {', '.join(list_targets())}") from None
+    schema = getattr(base, "knob_schema", None)
+    factory = getattr(base, "configured", None)
+    if schema is None or factory is None:
+        raise UnknownTargetError(
+            f"target {base_name!r} does not accept [knob=value,...] configuration")
+    design = schema.parse(knob_text)                # raises KnobError on bad knobs
+    if design.is_reference:
+        return base                                 # every knob at its Table III value
+    canonical = f"{base_name}[{schema.render(design)}]"
+    target = _CONFIGURED.get(canonical)
+    if target is None:
+        target = factory(canonical, design)
+        _CONFIGURED[canonical] = target
+    return target
+
+
 def get_target(name: str) -> Target:
-    """Look up a registered target by name."""
+    """Look up a target by registered or configured (``name[knob=...]``) name."""
 
     try:
         return _TARGETS[name]
     except KeyError:
-        raise UnknownTargetError(
-            f"unknown target {name!r}; available: {', '.join(list_targets())}"
-        ) from None
+        pass
+    if "[" in name and name.endswith("]"):
+        return _configured_target(name)
+    raise UnknownTargetError(
+        f"unknown target {name!r}; available: {', '.join(list_targets())} "
+        f"(design points configure as 'name[knob=value,...]', e.g. "
+        f"'vitality[pe=32x32,freq=1ghz]')")
 
 
 def list_targets() -> list[str]:
@@ -373,3 +513,21 @@ register_target(PlatformTarget("cpu"))
 register_target(PlatformTarget("edge_gpu"))
 register_target(PlatformTarget("gpu"))
 register_target(PlatformTarget("pixel3"))
+
+#: The registry exactly as populated at import time.  A fresh worker process
+#: rebuilds this state and nothing else, so work may only be shipped to
+#: workers for targets whose registration a re-import reproduces.
+_IMPORT_TIME_TARGETS = dict(_TARGETS)
+
+
+def is_import_time_target(name: str) -> bool:
+    """True when a worker process would resolve ``name`` to the same backend.
+
+    Targets registered after import (or replacing a built-in) exist only in
+    this process; simulating their specs in a worker would crash — or worse,
+    silently use the import-time implementation.  Configured names are safe
+    exactly when their base target is.
+    """
+
+    base = name.partition("[")[0]
+    return _TARGETS.get(base) is _IMPORT_TIME_TARGETS.get(base)

@@ -21,6 +21,7 @@ from repro.experiments import (
     hardware_exps,
     accuracy_exps,
     serving_exps,
+    dse_exps,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "hardware_exps",
     "accuracy_exps",
     "serving_exps",
+    "dse_exps",
 ]

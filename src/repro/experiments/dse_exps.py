@@ -1,0 +1,106 @@
+"""Design-space exploration: sweep microarchitecture knobs, report the Pareto set.
+
+The paper evaluates ViTALiTy at one fixed design point (Table III: 64x64
+SA-Mult at 500 MHz with 200 KB of buffers).  With the parametric core
+(:mod:`repro.hardware.core`) any design point is simulatable on demand, so
+this driver does what HPC performance-modelling studies do across processor
+generations: expand a PE-array x frequency x buffer space into configured
+targets, simulate every point (optionally in parallel), and reduce the cloud
+to its Pareto frontier over end-to-end latency, energy and silicon area.
+
+The flat per-point schema (``latency_ms`` / ``energy_mj`` / ``area_mm2`` plus
+the knob string) is what ``repro dse --json`` emits and what the CI smoke
+job asserts on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.engine import ResultCache, Sweep, get_target
+
+#: Default exploration space: a 3 x 3 x 3 cube around the Table III point.
+DEFAULT_PE = ("32x32", "64x64", "128x128")
+DEFAULT_FREQ = ("250mhz", "500mhz", "1ghz")
+DEFAULT_SRAM_KB = (100, 200, 400)
+
+
+def pareto_frontier(points: Sequence[dict], keys: Sequence[str]) -> list[dict]:
+    """The non-dominated subset of ``points`` under minimisation of ``keys``.
+
+    A point is dominated when some other point is no worse on every key and
+    strictly better on at least one.  Ties (identical coordinates) survive
+    together.  Returns the frontier sorted by the first key.
+    """
+
+    frontier = []
+    for point in points:
+        dominated = any(
+            all(other[key] <= point[key] for key in keys)
+            and any(other[key] < point[key] for key in keys)
+            for other in points if other is not point
+        )
+        if not dominated:
+            frontier.append(point)
+    return sorted(frontier, key=lambda point: tuple(point[key] for key in keys))
+
+
+def explore_design_space(model: str = "deit-tiny",
+                         target: str = "vitality",
+                         pe: Sequence[str] = DEFAULT_PE,
+                         freq: Sequence[str] = DEFAULT_FREQ,
+                         sram_kb: Sequence[int] = DEFAULT_SRAM_KB,
+                         jobs: int | None = None,
+                         cache: ResultCache | None = None) -> dict[str, object]:
+    """Sweep the PE/frequency/buffer cube and return points + Pareto frontier.
+
+    ``target`` names the family to explore (any configurable target —
+    ``vitality`` by default, ``sanger`` works too).  ``jobs`` fans the
+    simulations out over worker processes; ``cache`` lets repeated
+    explorations (and ``repro --cache-dir``) skip simulated points.
+    """
+
+    knob_strings = [
+        f"pe={pe_value},freq={freq_value},sram_kb={sram_value}"
+        for pe_value, freq_value, sram_value
+        in itertools.product(pe, freq, sram_kb)
+    ]
+    outcome = (Sweep()
+               .models(model)
+               .targets(target)
+               .over_configs(knob_strings)
+               .run(cache=cache, jobs=jobs))
+
+    points = []
+    for spec, result in zip(outcome.specs, outcome.results):
+        resolved = get_target(spec.target)
+        points.append({
+            "target": resolved.name,
+            "config": result.config,
+            "latency_ms": result.end_to_end_latency * 1e3,
+            "energy_mj": result.end_to_end_energy * 1e3,
+            "area_mm2": getattr(resolved, "area_mm2", None),
+            "peak_gmacs": resolved.peak_macs_per_second / 1e9,
+        })
+
+    # Platforms have no silicon-area model; drop the axis rather than fake it.
+    axes = ["latency_ms", "energy_mj"]
+    if all(point["area_mm2"] is not None for point in points):
+        axes.append("area_mm2")
+    frontier = pareto_frontier(points, axes)
+    frontier_keys = {point["target"] for point in frontier}
+    for point in points:
+        point["pareto"] = point["target"] in frontier_keys
+
+    return {
+        "model": model,
+        "target": target,
+        "space": {"pe": list(pe), "freq": list(freq), "sram_kb": list(sram_kb)},
+        "objectives": axes,
+        "evaluated": len(points),
+        "points": points,
+        "pareto_frontier": frontier,
+        "cache": {"hits": outcome.hits, "misses": outcome.misses,
+                  "disk_hits": outcome.disk_hits},
+    }

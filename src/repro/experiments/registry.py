@@ -8,6 +8,7 @@ from typing import Callable
 from repro.experiments import (
     accuracy_exps,
     complexity,
+    dse_exps,
     hardware_exps,
     profiling_exps,
     serving_exps,
@@ -75,6 +76,8 @@ _register("serve_comparison", "Serving under load: taylor vs vanilla fleets",
           "beyond the paper", serving_exps.serving_comparison)
 _register("serve_fleet", "Heterogeneous-fleet routing under bursty traffic",
           "beyond the paper", serving_exps.serving_fleet_study)
+_register("dse", "Design-space exploration: PE array x frequency x SRAM Pareto",
+          "beyond the paper", dse_exps.explore_design_space)
 
 
 def list_experiments() -> list[str]:

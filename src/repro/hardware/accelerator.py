@@ -13,15 +13,18 @@ how end-to-end latency and energy (Figs. 11 and 12) are obtained.
 
 from __future__ import annotations
 
-import math
 from dataclasses import replace
 
 from repro.hardware.common import Dataflow, LayerResult, ModelResult, StepResult
-from repro.hardware.config import ComponentConfig, ViTALiTyAcceleratorConfig
-from repro.hardware.energy import EnergyBreakdown, MemoryTrafficModel
-from repro.hardware.pipeline import pipeline_latency, sequential_latency
-from repro.hardware.processors import AccumulatorArray, AdderArray, DividerArray
-from repro.hardware.systolic import SystolicArray
+from repro.hardware.config import ViTALiTyAcceleratorConfig
+from repro.hardware.core.arrays import (
+    AccumulatorArray,
+    AdderArray,
+    DividerArray,
+    SystolicArray,
+)
+from repro.hardware.core.memory import EnergyBreakdown, MemoryTrafficModel
+from repro.hardware.core.pipeline import pipeline_latency, sequential_latency
 from repro.workloads import AttentionLayerSpec, LinearLayerSpec, ModelWorkload
 
 
@@ -70,16 +73,9 @@ class ViTALiTyAccelerator:
             raise ValueError("peak throughput must be positive")
         scale = peak_macs_per_second / self.peak_macs_per_second
         column_scale = max(1, int(round(self.config.sa_general.columns * scale)))
-
-        def _scale_component(component: ComponentConfig, columns: int) -> ComponentConfig:
-            factor = columns / component.columns
-            return replace(component, columns=columns,
-                           area_mm2=component.area_mm2 * factor,
-                           power_mw=component.power_mw * factor)
-
         scaled_config = replace(
             self.config,
-            sa_general=_scale_component(self.config.sa_general, column_scale),
+            sa_general=self.config.sa_general.scaled(columns=column_scale),
         )
         return ViTALiTyAccelerator(scaled_config, dataflow=self.dataflow,
                                    pipelined=self.pipelined)

@@ -4,45 +4,25 @@ Component areas and powers are taken verbatim from Table III of the paper
 (28 nm CMOS, 500 MHz).  Per-cycle component energies are derived as
 ``power / frequency``; per-access memory energies use typical 28 nm SRAM/DRAM
 figures and are the knob the Table V data-access comparison exercises.
+
+The geometry/energy primitives (:class:`ComponentConfig`,
+:class:`MemoryEnergyConfig`) live in :mod:`repro.hardware.core.component`;
+this module pins the paper's reference design points.  Non-reference design
+points are derived from these via :mod:`repro.hardware.core.families`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.hardware.core.component import ComponentConfig, MemoryEnergyConfig
 
-@dataclass(frozen=True)
-class ComponentConfig:
-    """One hardware chunk: its array geometry and synthesised area/power."""
-
-    name: str
-    rows: int
-    columns: int
-    bits: int
-    area_mm2: float
-    power_mw: float
-
-    @property
-    def lanes(self) -> int:
-        """Number of parallel processing lanes (PEs / adders / dividers)."""
-
-        return self.rows * self.columns
-
-    def energy_per_cycle(self, frequency_hz: float) -> float:
-        """Dynamic energy consumed per active cycle, in joules."""
-
-        return self.power_mw * 1e-3 / frequency_hz
-
-
-@dataclass(frozen=True)
-class MemoryEnergyConfig:
-    """Per-access energies of the four-level memory hierarchy (joules/16-bit word)."""
-
-    register_access: float = 0.02e-12
-    noc_access: float = 0.08e-12
-    sram_access: float = 0.25e-12
-    dram_access: float = 60e-12
-    sram_kb: int = 200  # 50 KB per Q/K/V/O buffer
+__all__ = [
+    "ComponentConfig",
+    "MemoryEnergyConfig",
+    "ViTALiTyAcceleratorConfig",
+    "SangerAcceleratorConfig",
+]
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,7 @@
-"""Tile-level systolic-array model (Section IV-B / IV-D).
+"""Compute-array models: the systolic array and the lane-array processors.
 
-The systolic array processes dense matrix multiplications by tiling the
-operands over its rows/columns.  For an ``R x C`` array computing
+Systolic array (Section IV-B / IV-D): dense matrix multiplications are tiled
+over the array's rows/columns.  For an ``R x C`` array computing
 ``O = A (M x K) @ B (K x N)`` with an input-stationary mapping, the stationary
 operand ``B`` is loaded tile by tile (``ceil(K/R) * ceil(N/C)`` tiles) and the
 ``M`` rows of ``A`` stream through each tile, with partial sums accumulated
@@ -13,6 +13,22 @@ The alternative G-stationary dataflow keeps ``G`` resident in the PEs between
 the two chained products of Algorithm 1; it saves the SRAM traffic of writing
 and re-reading ``G`` but requires reconfigurable PEs (both accumulation
 patterns), which the energy model charges as a per-MAC overhead factor.
+
+Lane arrays (Section IV-B): three small arrays handle the non-GEMM work of
+Algorithm 1 —
+
+* **Accumulator array** — column(token)-wise summations: ``1_n^T K``,
+  ``k_hat_sum`` and ``v_sum`` (Steps 1 and 3).
+* **Adder array** — element-wise additions/subtractions: the mean-centering
+  subtraction, the Taylor denominator and numerator additions (Steps 1, 4, 5).
+* **Divider array** — reconfigurable between single-divisor mode (dividing the
+  key column sum by ``n`` in Step 1) and multiple-divisors mode (the row-wise
+  division producing the final score in Step 6).
+
+An operation batch of ``count`` element-wise operations occupies
+``ceil(count / lanes)`` cycles and is charged the chunk's per-cycle power for
+those cycles.  Lane counts come from the component geometry, so a design
+point with a narrower PE array automatically narrows its processor arrays.
 """
 
 from __future__ import annotations
@@ -20,7 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.hardware.config import ComponentConfig
+from repro.hardware.core.component import ComponentConfig
 
 
 def matmul_cycles(m: int, k: int, n: int, rows: int, columns: int,
@@ -99,3 +115,63 @@ class SystolicArray:
             streamed_words=m * k * batch,
             output_words=m * n * batch,
         )
+
+
+@dataclass
+class VectorExecution:
+    """Outcome of one element-wise / reduction batch on a processor array."""
+
+    cycles: int
+    operations: int
+    energy_joules: float
+
+
+class _LaneArray:
+    """Common behaviour of the lane-parallel pre/post-processor chunks."""
+
+    def __init__(self, component: ComponentConfig, frequency_hz: float):
+        self.component = component
+        self.frequency_hz = frequency_hz
+
+    @property
+    def lanes(self) -> int:
+        return self.component.lanes
+
+    def _run(self, operations: int) -> VectorExecution:
+        if operations < 0:
+            raise ValueError("operation count must be non-negative")
+        if operations == 0:
+            return VectorExecution(cycles=0, operations=0, energy_joules=0.0)
+        cycles = math.ceil(operations / self.lanes)
+        energy = cycles * self.component.energy_per_cycle(self.frequency_hz)
+        return VectorExecution(cycles=cycles, operations=operations, energy_joules=energy)
+
+
+class AccumulatorArray(_LaneArray):
+    """Column-wise summation unit."""
+
+    def column_sum(self, tokens: int, features: int) -> VectorExecution:
+        """Accumulate ``tokens`` values for each of ``features`` columns."""
+
+        return self._run(tokens * features)
+
+
+class AdderArray(_LaneArray):
+    """Element-wise addition/subtraction unit."""
+
+    def elementwise(self, count: int) -> VectorExecution:
+        return self._run(count)
+
+
+class DividerArray(_LaneArray):
+    """Element-wise division unit with single- and multiple-divisor modes."""
+
+    def single_divisor(self, count: int) -> VectorExecution:
+        """Divide ``count`` elements by one shared divisor (Step 1 of Algorithm 1)."""
+
+        return self._run(count)
+
+    def multiple_divisors(self, count: int) -> VectorExecution:
+        """Divide ``count`` elements by per-row divisors (Step 6 of Algorithm 1)."""
+
+        return self._run(count)

@@ -18,7 +18,10 @@ of all step latencies.
 
 from __future__ import annotations
 
-from repro.hardware.common import StepResult
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:   # StepResult is only an annotation here; avoid an import cycle
+    from repro.hardware.common import StepResult
 
 
 def sequential_latency(steps: list[StepResult]) -> int:

@@ -21,7 +21,7 @@ The default constants are calibrated against the paper's own TX2 profile
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.workloads import AttentionLayerSpec, ModelWorkload
 
@@ -49,6 +49,37 @@ class Platform:
     average_power_watts: float
     #: Peak MAC/s (used to scale the ViTALiTy accelerator for fair comparison).
     peak_macs_per_second: float
+
+    # -- design-point scaling ---------------------------------------------------------
+
+    def scaled(self, compute: float = 1.0, power_watts: float | None = None,
+               launch_overhead_seconds: float | None = None) -> "Platform":
+        """This platform re-provisioned to a different design point.
+
+        ``compute`` scales every effective-throughput rate and the peak
+        together (a faster or binned part of the same architecture);
+        ``power_watts`` / ``launch_overhead_seconds`` pin those quantities
+        directly.  An identity scaling returns ``self`` unchanged.
+        """
+
+        if compute <= 0:
+            raise ValueError(f"compute scale must be positive, got {compute}")
+        if compute == 1.0 and power_watts is None and launch_overhead_seconds is None:
+            return self
+        return replace(
+            self,
+            projection_macs_per_second=self.projection_macs_per_second * compute,
+            gemm_macs_per_second=self.gemm_macs_per_second * compute,
+            skinny_gemm_macs_per_second=self.skinny_gemm_macs_per_second * compute,
+            softmax_ops_per_second=self.softmax_ops_per_second * compute,
+            elementwise_ops_per_second=self.elementwise_ops_per_second * compute,
+            peak_macs_per_second=self.peak_macs_per_second * compute,
+            average_power_watts=(self.average_power_watts if power_watts is None
+                                 else power_watts),
+            launch_overhead_seconds=(self.launch_overhead_seconds
+                                     if launch_overhead_seconds is None
+                                     else launch_overhead_seconds),
+        )
 
     # -- per-step latencies -----------------------------------------------------------
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.hardware.common import LayerResult, ModelResult, StepResult
 from repro.hardware.config import ViTALiTyAcceleratorConfig
-from repro.hardware.systolic import SystolicArray
+from repro.hardware.core.arrays import SystolicArray
 from repro.workloads import AttentionLayerSpec, ModelWorkload
 
 
@@ -56,7 +56,7 @@ class SALOAccelerator:
         keys_per_query = min(spec.kv_tokens, self.config.window + self.config.global_tokens)
         qk = self.array.matmul(n, d, keys_per_query)
         sv = self.array.matmul(n, keys_per_query, dv)
-        softmax_cycles = (n * keys_per_query) // 64 + 1
+        softmax_cycles = (n * keys_per_query) // self.budget.divider_array.lanes + 1
         softmax_energy = softmax_cycles * self.budget.divider_array.energy_per_cycle(self.frequency_hz)
         steps = [
             StepResult("window_qk", "systolic", qk.cycles * h, qk.energy_joules * h, qk.macs * h),

@@ -22,8 +22,8 @@ import math
 
 from repro.hardware.common import LayerResult, ModelResult, StepResult
 from repro.hardware.config import SangerAcceleratorConfig
-from repro.hardware.energy import MemoryTrafficModel
-from repro.hardware.systolic import SystolicArray, matmul_cycles
+from repro.hardware.core.arrays import SystolicArray, matmul_cycles
+from repro.hardware.core.memory import MemoryTrafficModel
 from repro.workloads import AttentionLayerSpec, LinearLayerSpec, ModelWorkload
 
 

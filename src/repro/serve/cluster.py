@@ -25,7 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, NamedTuple, Protocol, Sequence, runtime_checkable
 
-from repro.engine import Sweep, get_target
+from repro.engine import Sweep, get_target, split_configured_names
 from repro.engine.spec import ATTENTION_MODES
 from repro.serve.traffic import Request
 
@@ -120,12 +120,16 @@ class Fleet:
 
     @classmethod
     def parse(cls, text: str) -> "Fleet":
-        """Parse ``"2xvitality,1xgpu:taylor"`` (count defaults to 1)."""
+        """Parse ``"2xvitality,1xgpu:taylor"`` (count defaults to 1).
+
+        Replica targets may be configured design points —
+        ``"2xvitality[pe=32x32,freq=1ghz],1xvitality"`` mixes a scaled-down
+        variant with the Table III reference in one heterogeneous fleet.
+        Commas inside the knob brackets do not split replicas.
+        """
 
         specs: list[ReplicaSpec] = []
-        for part in (piece.strip() for piece in text.split(",")):
-            if not part:
-                continue
+        for part in split_configured_names(text):
             count_text, _, rest = part.partition("x")
             if rest and count_text.isdigit():
                 count, body = int(count_text), rest
