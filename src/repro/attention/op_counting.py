@@ -6,6 +6,12 @@ a given layer geometry.  Aggregated over a model's attention layers they
 reproduce Table I of the paper; the closed-form ratios of Eqs. (1)–(3) are
 provided as separate helpers so the tests can check the approximation
 ``R ~= n / d`` claimed in the text.
+
+The counts honor the full layer geometry, including autoregressive shapes:
+``kv_tokens`` decouples the key/value length from the query count (LeViT's
+shrinking blocks, KV-cached decoding) and ``causal`` masks the score
+matrix's upper triangle, so the vanilla-vs-Taylor comparison extends from
+the paper's ViT encoders to GPT-style decoder workloads.
 """
 
 from __future__ import annotations
@@ -55,12 +61,26 @@ class OperationCounts:
         }
 
 
+def _attention_entries(layer: AttentionLayerSpec) -> int:
+    """Computed entries of the n x m score matrix.
+
+    Causal layers skip the masked upper triangle: the ``n`` queries are the
+    last positions of an ``m``-token sequence, so query ``i`` attends to its
+    ``m - n + i + 1``-long prefix.  For square causal prefill that is the
+    familiar ``n(n+1)/2``; for a KV-cached decode step (``n=1``) it is ``m``.
+    """
+
+    n, m = layer.tokens, layer.kv_tokens
+    if layer.causal:
+        return n * m - n * (n - 1) // 2
+    return n * m
+
+
 def _vanilla_layer_counts(layer: AttentionLayerSpec) -> OperationCounts:
     """Per-layer counts for softmax attention: QK^T, softmax, SV."""
 
-    n, m = layer.tokens, layer.kv_tokens
     d, dv, h = layer.qk_dim, layer.v_dim, layer.heads
-    attention_entries = n * m
+    attention_entries = _attention_entries(layer)
     multiplications = h * (attention_entries * d + attention_entries * dv)
     # Matmul accumulations plus the softmax denominator reduction (n*m adds),
     # matching the (2 n^2 d + n^2) numerator of Eq. (2) for the square case.
@@ -71,7 +91,17 @@ def _vanilla_layer_counts(layer: AttentionLayerSpec) -> OperationCounts:
 
 
 def _taylor_layer_counts(layer: AttentionLayerSpec) -> OperationCounts:
-    """Per-layer counts for the linear Taylor attention (Algorithm 1)."""
+    """Per-layer counts for the linear Taylor attention (Algorithm 1).
+
+    The counts depend only on ``n`` and ``m``, never on their product —
+    that is the linear-attention claim.  A causal layer streams the keys
+    once, updating the running context ``G`` (a prefix sum) between
+    queries, so its counts match the bidirectional ones; every key is
+    still touched exactly once.  This is also why a KV-cached decode step
+    (``n=1``) costs Taylor attention a full ``m * d * dv`` context
+    rebuild unless ``G`` itself is carried as the cache — the asymmetry
+    the ``seqscale`` experiment quantifies.
+    """
 
     n, m = layer.tokens, layer.kv_tokens
     d, dv, h = layer.qk_dim, layer.v_dim, layer.heads

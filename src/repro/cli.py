@@ -8,7 +8,12 @@ Usage examples::
     python -m repro run fig13 --full          # training ablation with long settings
     python -m repro simulate deit-tiny --target sanger --json
     python -m repro simulate deit-tiny --target "vitality[pe=32x32,freq=1ghz]"
+    python -m repro simulate "deit-tiny[tokens=1024]"              # configured workload
+    python -m repro workloads                  # workload families, knobs, geometries
+    python -m repro workloads "decoder[tokens=1,kv_tokens=2048,phase=decode]"
     python -m repro sweep --models deit-tiny,levit-128 --targets vitality,sanger
+    python -m repro sweep --models "decoder[kv_tokens=1024],deit-tiny" \
+                          --targets "vitality[pe=32x32],gpu"       # model x target knobs
     python -m repro sweep --targets vitality,sanger --jobs 4       # parallel
     python -m repro dse --pe 32x32,64x64 --freq 500mhz,1ghz --json # Pareto frontier
     python -m repro --cache-dir .repro-cache dse --jobs 4          # persistent cache
@@ -47,7 +52,14 @@ from repro.serve import (
     make_traffic,
     serve,
 )
-from repro.workloads import list_workloads
+from repro.workloads import (
+    FAMILIES,
+    UnknownWorkloadError,
+    canonical_workload_name,
+    get_workload,
+    list_families,
+    list_workloads,
+)
 
 #: Baselines the ``accelerate`` command compares against by default.
 DEFAULT_BASELINES = ("sanger", "cpu", "edge_gpu", "gpu")
@@ -62,6 +74,13 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list experiments, models, attention modes and targets")
+
+    workloads = subparsers.add_parser(
+        "workloads", help="list workload families, knobs and geometry/MAC "
+                          "summaries as JSON (or resolve one configured name)")
+    workloads.add_argument("name", nargs="?",
+                           help="optional (configured) workload name to resolve, "
+                                "e.g. 'deit-tiny[tokens=1024]'")
 
     run = subparsers.add_parser("run", help="run one experiment by identifier")
     run.add_argument("experiment", help="experiment id, e.g. tab1, fig11, fig13")
@@ -92,7 +111,9 @@ def _build_parser() -> argparse.ArgumentParser:
     swp = subparsers.add_parser("sweep",
                                 help="simulate a cross product of models and targets")
     swp.add_argument("--models", default="",
-                     help="comma-separated workload names (default: all)")
+                     help="comma-separated workload names (default: all seed "
+                          "models); configured names work inline, e.g. "
+                          "'decoder[kv_tokens=1024],deit-tiny'")
     swp.add_argument("--targets", default="vitality,sanger",
                      help="comma-separated target names; design points "
                           "configure inline, e.g. 'vitality[pe=32x32],sanger'")
@@ -130,7 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--duration", type=float, default=10.0,
                      help="length of the arrival window in seconds")
     srv.add_argument("--models", default="deit-tiny",
-                     help="comma-separated workloads requests are drawn from")
+                     help="comma-separated workloads requests are drawn from; "
+                          "configured names work inline, e.g. "
+                          "'deit-tiny[tokens=1024],levit-128'")
     srv.add_argument("--weights", default="",
                      help="comma-separated mix weights matching --models")
     srv.add_argument("--period", type=float, default=10.0,
@@ -185,9 +208,64 @@ def _command_list() -> int:
         spec = get_experiment(identifier)
         print(f"  {identifier:18s} {spec.paper_reference:18s} {spec.title}")
     print("\nModels:          " + ", ".join(available_models()))
+    print("Workload families: " + ", ".join(list_families())
+          + "  (knobs: `repro workloads`)")
     print("Attention modes: " + ", ".join(available_attention_modes()))
     print("Targets:         " + ", ".join(list_targets()))
     return 0
+
+
+def _workload_summary(name: str) -> dict[str, object]:
+    """Geometry and MAC/op summary of one resolved workload."""
+
+    from repro.attention.op_counting import (
+        count_taylor_attention_ops,
+        count_vanilla_attention_ops,
+    )
+
+    workload = get_workload(name)
+    return {
+        "name": workload.name,
+        "canonical_name": canonical_workload_name(name),
+        "attention_layers": [
+            {"tokens": layer.tokens, "kv_tokens": layer.kv_tokens,
+             "qk_dim": layer.qk_dim, "v_dim": layer.v_dim, "heads": layer.heads,
+             "repeats": layer.repeats, "causal": layer.causal}
+            for layer in workload.attention_layers
+        ],
+        "total_attention_layers": workload.total_attention_layers(),
+        "linear_macs": workload.linear_macs(),
+        "attention_ops_millions": {
+            "vanilla": count_vanilla_attention_ops(workload).total / 1e6,
+            "taylor": count_taylor_attention_ops(workload).total / 1e6,
+        },
+        "baseline_accuracy": workload.baseline_accuracy,
+    }
+
+
+def _command_workloads(arguments: argparse.Namespace) -> int:
+    try:
+        if arguments.name:
+            print(json.dumps(_workload_summary(arguments.name), indent=2))
+            return 0
+        families = []
+        for name, family in FAMILIES.items():
+            families.append({
+                "family": name,
+                "doc": family.doc,
+                "knobs": [
+                    {"name": knob.name, "doc": knob.doc,
+                     "default": (None if knob.default is None
+                                 else knob.render(knob.default))}
+                    for _, knob in sorted(family.schema.knobs.items())
+                ],
+                "reference": _workload_summary(name),
+            })
+        print(json.dumps({"families": families,
+                          "seed_workloads": list_workloads()}, indent=2))
+        return 0
+    except (UnknownWorkloadError, KeyError, ValueError) as error:
+        return _fail(str(error.args[0] if error.args else error))
 
 
 def _command_run(identifier: str, as_json: bool, full: bool) -> int:
@@ -236,7 +314,7 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
-    models = _split_csv(arguments.models) or tuple(list_workloads())
+    models = split_configured_names(arguments.models) or tuple(list_workloads())
     targets = split_configured_names(arguments.targets)
     if not targets:
         return _fail("no targets given")
@@ -252,9 +330,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         # Validate names up front so the error names the bad axis value
         # instead of surfacing mid-sweep.
         for model in models:
-            if model not in list_workloads():
-                return _fail(f"unknown model {model!r}; available: "
-                             + ", ".join(list_workloads()))
+            get_workload(model)
         for target in targets:
             get_target(target)
         outcome = builder.run(cache=_make_cache(arguments), jobs=arguments.jobs)
@@ -307,7 +383,7 @@ def _command_dse(arguments: argparse.Namespace) -> int:
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
-    models = _split_csv(arguments.models)
+    models = split_configured_names(arguments.models)
     weights: tuple[float, ...] | None = None
     if arguments.weights:
         try:
@@ -359,15 +435,14 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 def _command_accelerate(arguments: argparse.Namespace) -> int:
     model = arguments.model
     baselines = split_configured_names(arguments.baseline)
-    if model not in list_workloads():
-        return _fail(f"unknown model {model!r}; available: " + ", ".join(list_workloads()))
     if not baselines:
         return _fail("no baselines given")
     try:
+        get_workload(model)
         for baseline in baselines:
             get_target(baseline)
-    except UnknownTargetError as error:
-        return _fail(str(error.args[0]))
+    except (KeyError, ValueError) as error:
+        return _fail(str(error.args[0] if error.args else error))
 
     own = simulate(RunSpec(model, target="vitality"))
     latency: dict[str, float] = {}
@@ -403,6 +478,8 @@ def main(argv: list[str] | None = None) -> int:
     arguments = _build_parser().parse_args(argv)
     if arguments.command == "list":
         return _command_list()
+    if arguments.command == "workloads":
+        return _command_workloads(arguments)
     if arguments.command == "run":
         try:
             return _command_run(arguments.experiment, arguments.json, arguments.full)

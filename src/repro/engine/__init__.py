@@ -52,6 +52,7 @@ from repro.engine.targets import (
     register_target,
     split_configured_names,
 )
+from repro.workloads import UnknownWorkloadError, canonical_workload_name
 
 __all__ = [
     "ATTENTION_MODES",
@@ -71,8 +72,10 @@ __all__ = [
     "SweepOutcome",
     "Target",
     "UnknownTargetError",
+    "UnknownWorkloadError",
     "VitalityTarget",
     "cache_stats",
+    "canonical_workload_name",
     "canonicalise_spec",
     "clear_cache",
     "get_target",

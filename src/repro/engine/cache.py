@@ -115,9 +115,12 @@ DEFAULT_CACHE = ResultCache()
 def _resolve(spec: RunSpec):
     """(target, canonical spec) for one run request.
 
-    Two canonicalisations keep physically identical runs on one cache entry:
-    the target's name is normalised (configured names — ``vitality[...]`` —
-    sort their knobs, canonicalise values and drop reference settings), and
+    Three canonicalisations keep physically identical runs on one cache
+    entry: the target's name is normalised (configured names —
+    ``vitality[...]`` — sort their knobs, canonicalise values and drop
+    reference settings), the model's name is normalised the same way with
+    the deprecated ``tokens`` override lowered onto the ``tokens=`` knob
+    (``("deit-tiny", tokens=512)`` keys as ``"deit-tiny[tokens=512]"``), and
     the target collapses spec options that are no-ops for it (e.g. a
     ``scale_to_peak`` at or below ViTALiTy's native peak).
     """
@@ -125,10 +128,14 @@ def _resolve(spec: RunSpec):
     from dataclasses import replace
 
     from repro.engine.targets import get_target
+    from repro.workloads import canonical_workload_name
 
     target = get_target(spec.target)
     if target.name != spec.target:
         spec = replace(spec, target=target.name)
+    model = canonical_workload_name(spec.model, tokens=spec.tokens)
+    if model != spec.model or spec.tokens is not None:
+        spec = replace(spec, model=model, tokens=None)
     canonicalise = getattr(target, "canonical_spec", None)
     if canonicalise is not None:
         spec = canonicalise(spec)

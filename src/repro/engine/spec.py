@@ -9,9 +9,9 @@ cross-product sweeps can be expanded mechanically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 
-from repro.workloads import ModelWorkload, get_workload
+from repro.workloads import ModelWorkload, get_workload, scaled_to_tokens
 
 #: Dataflows accepted by the ViTALiTy targets (values of
 #: :class:`repro.hardware.Dataflow`).
@@ -26,8 +26,12 @@ class RunSpec:
     """One simulation request.
 
     Attributes:
-        model: workload name, e.g. ``"deit-tiny"`` (see
-            :func:`repro.workloads.list_workloads`).
+        model: workload name — a registered name (``"deit-tiny"``, see
+            :func:`repro.workloads.list_workloads`) or a *configured* name
+            spelled with the workload grammar
+            (``"deit-tiny[tokens=1024]"``,
+            ``"decoder[tokens=1,kv_tokens=2048,phase=decode]"``; see
+            :func:`repro.workloads.list_families`).
         target: registry name of the simulation target, e.g. ``"vitality"``
             or ``"edge_gpu"`` (see :func:`repro.engine.list_targets`).
         attention: attention formulation for targets that support more than
@@ -35,8 +39,10 @@ class RunSpec:
             ``None`` selects the target's native formulation.
         batch_size: images processed back to back; latency and energy scale
             linearly (the simulators model single-image residency).
-        tokens: override the workload's dominant token count; every layer's
-            token dimensions are rescaled proportionally.
+        tokens: deprecated alias for the ``tokens=`` workload knob — the
+            override lowers onto the grammar, so ``("deit-tiny", tokens=512)``
+            resolves (and caches) exactly as ``"deit-tiny[tokens=512]"``.
+            Prefer spelling the knob in ``model``.
         dataflow: accumulation dataflow override for the ViTALiTy targets
             (``"down_forward"`` or ``"g_stationary"``).
         pipelined: intra-layer pipelining override for the ViTALiTy targets.
@@ -75,41 +81,25 @@ class RunSpec:
             raise ValueError("scale_to_peak must be positive")
 
     def workload(self) -> ModelWorkload:
-        """Resolve the (possibly token-rescaled) workload this spec runs on."""
+        """Resolve the configured workload this spec runs on.
 
-        workload = get_workload(self.model)
-        if self.tokens is None:
-            return workload
-        return scale_workload_tokens(workload, self.tokens)
+        The deprecated ``tokens`` override is applied as the ``tokens=`` knob
+        of the model's family, so every spelling of one geometry resolves to
+        the same cached :class:`ModelWorkload`.
+        """
+
+        return get_workload(self.model, tokens=self.tokens)
 
     def to_dict(self) -> dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 def scale_workload_tokens(workload: ModelWorkload, tokens: int) -> ModelWorkload:
-    """Rescale every layer's token dimensions so the dominant attention layer
-    processes ``tokens`` query tokens.
+    """Deprecated alias of :func:`repro.workloads.scaled_to_tokens`.
 
     Multi-stage models (MobileViT, LeViT) keep their relative stage geometry;
-    each layer's token counts are scaled by the same ratio (floored at 1).
+    each layer's token counts scale by the same *floored* ratio (clamped at
+    1), matching the ``tokens=`` workload knob exactly.
     """
 
-    if tokens < 1:
-        raise ValueError(f"tokens must be >= 1, got {tokens}")
-    base = max(spec.tokens for spec in workload.attention_layers)
-    if tokens == base:
-        return workload
-    ratio = tokens / base
-
-    def _scaled(count: int) -> int:
-        return max(1, round(count * ratio))
-
-    attention = tuple(
-        replace(spec, tokens=_scaled(spec.tokens), kv_tokens=_scaled(spec.kv_tokens))
-        for spec in workload.attention_layers
-    )
-    linear = tuple(
-        replace(spec, tokens=_scaled(spec.tokens)) for spec in workload.linear_layers
-    )
-    return replace(workload, name=f"{workload.name}@{tokens}tok",
-                   attention_layers=attention, linear_layers=linear)
+    return scaled_to_tokens(workload, tokens)

@@ -96,6 +96,7 @@ class Sweep:
     """
 
     _models: tuple[str, ...] | None = None
+    _model_configs: tuple[str | None, ...] = (None,)
     _targets: tuple[str, ...] = ("vitality",)
     _configs: tuple[str | None, ...] = (None,)
     _attentions: tuple[str | None, ...] = (None,)
@@ -150,6 +151,22 @@ class Sweep:
         self._configs = _unique_names(knob_strings, "over_configs")
         return self
 
+    def model_configs(self, *knob_strings) -> "Sweep":
+        """Set a workload-knob axis crossed with the models — the workload
+        side of :meth:`over_configs`.
+
+        Each value is a workload-grammar bracket body such as
+        ``"tokens=1024"`` or ``"kv_tokens=2048,phase=decode"``; the expansion
+        runs every model at every configuration
+        (``deit-tiny[tokens=1024]``).  An empty string means the family's
+        reference geometry, so the model-knob × target-knob product
+        ``model_configs("", "tokens=1024").over_configs("", "pe=32x32")`` is
+        fully symmetric.  Accepts varargs or one iterable, deduplicated.
+        """
+
+        self._model_configs = _unique_names(knob_strings, "model_configs")
+        return self
+
     def attentions(self, *modes: str | None) -> "Sweep":
         self._attentions = tuple(modes)
         return self
@@ -174,9 +191,17 @@ class Sweep:
         """Yield the cross product as :class:`RunSpec` instances."""
 
         models = self._models if self._models is not None else tuple(list_workloads())
-        for model, target, config, attention, batch, tokens, dataflow in itertools.product(
-                models, self._targets, self._configs, self._attentions,
-                self._batch_sizes, self._token_counts, self._dataflows):
+        for model, model_config, target, config, attention, batch, tokens, dataflow \
+                in itertools.product(
+                    models, self._model_configs, self._targets, self._configs,
+                    self._attentions, self._batch_sizes, self._token_counts,
+                    self._dataflows):
+            if model_config:
+                if "[" in model:
+                    raise ValueError(
+                        f"cannot apply model_configs knobs {model_config!r} to "
+                        f"the already-configured model {model!r}")
+                model = f"{model}[{model_config}]"
             if config:
                 if "[" in target:
                     raise ValueError(
@@ -253,13 +278,13 @@ def sweep(models: Sequence[str], targets: Sequence[str],
     """One-call convenience wrapper around :class:`Sweep`.
 
     ``axes`` may set ``attentions``, ``batch_sizes``, ``token_counts``,
-    ``dataflows``, ``over_configs`` (sequences) or ``include_linear``
-    (bool); ``jobs`` enables the parallel execution path.
+    ``dataflows``, ``over_configs``, ``model_configs`` (sequences) or
+    ``include_linear`` (bool); ``jobs`` enables the parallel execution path.
     """
 
     builder = Sweep().models(*models).targets(*targets)
     valid_axes = ("attentions", "batch_sizes", "token_counts", "dataflows",
-                  "over_configs")
+                  "over_configs", "model_configs")
     for axis, values in axes.items():
         if axis == "include_linear":
             if not values:

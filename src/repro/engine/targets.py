@@ -407,7 +407,7 @@ class PlatformTarget:
             energy_joules=attention_latency * power, steps=steps),)
         batch = spec.batch_size
         return RunResult(
-            model=workload.name if spec.tokens is not None else spec.model,
+            model=workload.name,
             target=self.name,
             attention_latency=attention_latency * batch,
             linear_latency=linear_latency * batch,

@@ -22,6 +22,7 @@ from repro.experiments import (
     accuracy_exps,
     serving_exps,
     dse_exps,
+    seqscale_exps,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "accuracy_exps",
     "serving_exps",
     "dse_exps",
+    "seqscale_exps",
 ]

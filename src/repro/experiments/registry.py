@@ -11,6 +11,7 @@ from repro.experiments import (
     dse_exps,
     hardware_exps,
     profiling_exps,
+    seqscale_exps,
     serving_exps,
 )
 
@@ -78,6 +79,8 @@ _register("serve_fleet", "Heterogeneous-fleet routing under bursty traffic",
           "beyond the paper", serving_exps.serving_fleet_study)
 _register("dse", "Design-space exploration: PE array x frequency x SRAM Pareto",
           "beyond the paper", dse_exps.explore_design_space)
+_register("seqscale", "Sequence-length scaling: vanilla/taylor crossover",
+          "beyond the paper", seqscale_exps.seqscale_experiment)
 
 
 def list_experiments() -> list[str]:

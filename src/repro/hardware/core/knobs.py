@@ -1,4 +1,4 @@
-"""The design-point grammar: knob strings parsed into hashable configs.
+"""The hardware design-point grammar (a view of :mod:`repro.knobs`).
 
 A design point is written as a *configured target name*::
 
@@ -6,213 +6,49 @@ A design point is written as a *configured target name*::
     sanger[density=0.2,sram_kb=400]
     gpu[compute=0.5,power=30]
 
-The bracketed part is a comma-separated list of ``knob=value`` pairs.  Each
-target family publishes a :class:`KnobSchema` declaring which knobs exist,
-how their values parse and render, and what the family's reference (Table
-III) value is.  Parsing produces a :class:`HardwareConfig` — a frozen,
-hashable record of ``(family, sorted knob items)`` that the engine uses as
-the identity of a design point: knob order is normalised, values are
-canonicalised, and knobs set to their reference value are dropped, so every
-spelling of the same physical design resolves to one config (and one result
-cache entry).
-
-Errors raise :class:`KnobError` (a ``ValueError``) with messages that name
-the offending knob, the expected format and the valid alternatives.
+The grammar machinery — :class:`Knob`, :class:`KnobSchema`, the value
+parsers/renderers and the canonicalising :class:`KnobConfig` — lives in the
+neutral :mod:`repro.knobs` module, because the *workload* side of a run
+(:mod:`repro.workloads.core`) is spelled with exactly the same grammar.
+This module re-exports it under the hardware-facing names; in hardware
+contexts a parsed config is a :class:`HardwareConfig` (an alias of
+:class:`~repro.knobs.KnobConfig`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from repro.knobs import (
+    Knob,
+    KnobConfig,
+    KnobError,
+    KnobSchema,
+    parse_fraction,
+    parse_frequency,
+    parse_geometry,
+    parse_non_negative_int,
+    parse_positive_float,
+    parse_positive_int,
+    render_frequency,
+    render_geometry,
+    render_number,
+)
 
-#: Frequency suffixes accepted by ``freq=`` values, largest unit first so the
-#: ``hz`` suffix of ``mhz``/``ghz``/``khz`` cannot shadow them.
-_FREQUENCY_UNITS = (("ghz", 1e9), ("mhz", 1e6), ("khz", 1e3), ("hz", 1.0))
+#: A hardware design point: a target family plus its non-default knob settings.
+HardwareConfig = KnobConfig
 
-
-class KnobError(ValueError):
-    """A malformed or unknown design-point knob."""
-
-
-# ---------------------------------------------------------------------------------
-# Value parsers/renderers.  Renderers must round-trip: parse(render(v)) == v.
-# ---------------------------------------------------------------------------------
-
-def parse_geometry(text: str) -> tuple[int, int]:
-    """``"32x32"`` -> ``(32, 32)``."""
-
-    rows, separator, columns = text.lower().partition("x")
-    if not separator or not rows.isdigit() or not columns.isdigit():
-        raise KnobError(f"expected ROWSxCOLS (e.g. '32x32'), got {text!r}")
-    geometry = (int(rows), int(columns))
-    if min(geometry) < 1:
-        raise KnobError(f"array dimensions must be >= 1, got {text!r}")
-    return geometry
-
-
-def render_geometry(value: tuple[int, int]) -> str:
-    return f"{value[0]}x{value[1]}"
-
-
-def parse_frequency(text: str) -> float:
-    """``"500mhz"`` / ``"1ghz"`` / ``"2.5e8"`` -> hertz."""
-
-    lowered = text.lower().strip()
-    number, multiplier = lowered, 1.0
-    for unit, unit_multiplier in _FREQUENCY_UNITS:
-        if lowered.endswith(unit):
-            number, multiplier = lowered[:-len(unit)], unit_multiplier
-            break
-    try:
-        value = float(number) * multiplier
-    except ValueError:
-        raise KnobError(f"expected a frequency such as '500mhz', '1ghz' or a "
-                        f"number in Hz, got {text!r}") from None
-    if value <= 0:
-        raise KnobError(f"frequency must be positive, got {text!r}")
-    return value
-
-
-def render_frequency(hertz: float) -> str:
-    """Hertz -> the shortest exact spelling (``1ghz``, ``433mhz``, raw Hz)."""
-
-    megahertz = hertz / 1e6
-    if megahertz == int(megahertz):
-        gigahertz = hertz / 1e9
-        if gigahertz == int(gigahertz):
-            return f"{int(gigahertz)}ghz"
-        return f"{int(megahertz)}mhz"
-    return repr(hertz)
-
-
-def parse_positive_int(text: str) -> int:
-    if not text.isdigit() or int(text) < 1:
-        raise KnobError(f"expected a positive integer, got {text!r}")
-    return int(text)
-
-
-def parse_non_negative_int(text: str) -> int:
-    if not text.isdigit():
-        raise KnobError(f"expected a non-negative integer, got {text!r}")
-    return int(text)
-
-
-def parse_positive_float(text: str) -> float:
-    try:
-        value = float(text)
-    except ValueError:
-        raise KnobError(f"expected a number, got {text!r}") from None
-    if value <= 0:
-        raise KnobError(f"expected a positive number, got {text!r}")
-    return value
-
-
-def parse_fraction(text: str) -> float:
-    value = parse_positive_float(text)
-    if value > 1.0:
-        raise KnobError(f"expected a fraction in (0, 1], got {text!r}")
-    return value
-
-
-def render_number(value: object) -> str:
-    """Exact, re-parseable rendering for int/float knob values."""
-
-    if isinstance(value, int):
-        return str(value)
-    return repr(value)
-
-
-@dataclass(frozen=True)
-class Knob:
-    """One named design-space dimension of a target family."""
-
-    name: str
-    parse: Callable[[str], object]
-    render: Callable[[object], str]
-    doc: str
-    #: Reference (Table III) value; parsing drops knobs set to it, so the
-    #: explicit-default spelling resolves to the reference design point.
-    #: ``None`` means "keep the base target's value" (no drop possible).
-    default: object = None
-
-
-@dataclass(frozen=True)
-class HardwareConfig:
-    """A design point: a target family plus its non-default knob settings.
-
-    ``knobs`` is a name-sorted tuple of ``(name, value)`` pairs, which makes
-    the config hashable, order-insensitive and directly usable as a cache
-    key.  The empty tuple is the family's reference design point.
-    """
-
-    family: str
-    knobs: tuple[tuple[str, object], ...] = ()
-
-    @property
-    def is_reference(self) -> bool:
-        """True when every knob sits at the family's Table III value."""
-
-        return not self.knobs
-
-    def get(self, name: str, default: object = None) -> object:
-        for knob_name, value in self.knobs:
-            if knob_name == name:
-                return value
-        return default
-
-    def __contains__(self, name: str) -> bool:
-        return any(knob_name == name for knob_name, _ in self.knobs)
-
-
-@dataclass(frozen=True)
-class KnobSchema:
-    """The knob vocabulary of one target family."""
-
-    family: str
-    knobs: Mapping[str, Knob] = field(default_factory=dict)
-
-    def parse(self, text: str) -> HardwareConfig:
-        """Parse ``"pe=32x32,freq=1ghz"`` (brackets already stripped)."""
-
-        items: dict[str, object] = {}
-        for part in text.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            name, separator, raw_value = part.partition("=")
-            name, raw_value = name.strip(), raw_value.strip()
-            if not separator or not name or not raw_value:
-                raise KnobError(
-                    f"malformed knob {part!r} for {self.family!r}: expected "
-                    f"knob=value, e.g. {self.example()!r}")
-            knob = self.knobs.get(name)
-            if knob is None:
-                raise KnobError(
-                    f"unknown knob {name!r} for {self.family!r} targets; "
-                    f"valid knobs: {self.describe()}")
-            if name in items:
-                raise KnobError(f"duplicate knob {name!r} in {text!r}")
-            try:
-                value = knob.parse(raw_value)
-            except KnobError as error:
-                raise KnobError(f"invalid value for knob {name!r}: {error}") from None
-            if value != knob.default:     # reference values identify the base design
-                items[name] = value
-        return HardwareConfig(self.family, tuple(sorted(items.items())))
-
-    def render(self, config: HardwareConfig) -> str:
-        """The canonical knob string (sorted names, canonical values)."""
-
-        return ",".join(f"{name}={self.knobs[name].render(value)}"
-                        for name, value in config.knobs)
-
-    def describe(self) -> str:
-        """Human-readable knob inventory for error messages and ``--help``."""
-
-        return "; ".join(f"{name} ({knob.doc})"
-                         for name, knob in sorted(self.knobs.items()))
-
-    def example(self) -> str:
-        name, knob = next(iter(sorted(self.knobs.items())))
-        rendered = knob.render(knob.default) if knob.default is not None else "..."
-        return f"{name}={rendered}"
+__all__ = [
+    "HardwareConfig",
+    "Knob",
+    "KnobConfig",
+    "KnobError",
+    "KnobSchema",
+    "parse_fraction",
+    "parse_frequency",
+    "parse_geometry",
+    "parse_non_negative_int",
+    "parse_positive_float",
+    "parse_positive_int",
+    "render_frequency",
+    "render_geometry",
+    "render_number",
+]

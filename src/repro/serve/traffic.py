@@ -23,10 +23,26 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
-from repro.workloads import list_workloads
+from repro.knobs import KnobError
+from repro.workloads import UnknownWorkloadError, get_workload
 
 #: Traffic pattern names accepted by :func:`make_traffic` and the CLI.
 TRAFFIC_PATTERNS = ("poisson", "bursty", "diurnal", "replay")
+
+
+def _check_workload_name(model: str, where: str) -> None:
+    """Resolve a (possibly configured) workload name, failing as ValueError.
+
+    Configured names — ``"deit-tiny[tokens=1024]"`` — are first-class request
+    models: the grammar validates families *and* knobs here, at mix/trace
+    construction, so the error names the construction site rather than
+    surfacing mid-run.
+    """
+
+    try:
+        get_workload(model)
+    except (UnknownWorkloadError, KnobError) as error:
+        raise ValueError(f"in {where}: {error.args[0]}") from None
 
 
 @dataclass(frozen=True)
@@ -52,9 +68,7 @@ class WorkloadMix:
             raise ValueError("WorkloadMix needs at least one workload")
         merged: dict[str, float] = {}
         for model, weight in self.entries:
-            if model not in list_workloads():
-                raise ValueError(f"unknown workload {model!r} in mix; available: "
-                                 + ", ".join(list_workloads()))
+            _check_workload_name(model, "mix")
             if weight <= 0:
                 raise ValueError(f"mix weight for {model!r} must be positive, got {weight}")
             merged[model] = merged.get(model, 0.0) + weight
@@ -250,9 +264,7 @@ class ReplayTraffic:
         for time, model in self.trace:
             if time < 0:
                 raise ValueError(f"trace times must be non-negative, got {time}")
-            if model not in list_workloads():
-                raise ValueError(f"unknown workload {model!r} in trace; available: "
-                                 + ", ".join(list_workloads()))
+            _check_workload_name(model, "trace")
 
     @classmethod
     def from_records(cls, records: Iterable[Sequence[object]]) -> "ReplayTraffic":

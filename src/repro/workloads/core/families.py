@@ -1,0 +1,209 @@
+"""Per-family workload knob schemas and geometry builders.
+
+Three kinds of family live here, all spelled with the same bracketed grammar
+(:mod:`repro.knobs`) the hardware targets use:
+
+* the paper's **uniform ViT families** (``deit-tiny`` / ``deit-small`` /
+  ``deit-base``) — single-stage encoders whose knobs (``tokens``, ``dim``,
+  ``heads``, ``layers``, ``mlp_ratio``) default to the Table I geometry;
+* the paper's **multi-stage families** (``mobilevit-*``, ``levit-*``) —
+  pyramid models exposing a ``tokens`` knob that rescales every stage by the
+  same floored ratio, preserving the relative stage geometry;
+* the **sequence families beyond the paper** (``encoder``, ``decoder``,
+  ``transformer``) — BERT-style bidirectional, GPT-style causal and a
+  generic transformer, with ``kv_tokens`` / ``causal`` / ``phase`` knobs
+  that express long-sequence, cross-attention and KV-cached decode shapes
+  (``decoder[tokens=1,kv_tokens=2048,phase=decode]`` is one autoregressive
+  decode step against a 2048-entry cache).
+
+Reference-valued configs short-circuit to the reference objects — for the
+seven seed names, the exact ``specs.py`` instances — keeping default
+geometries bit-identical to the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.knobs import (
+    Knob,
+    KnobConfig,
+    KnobError,
+    KnobSchema,
+    choice_parser,
+    parse_bool,
+    parse_positive_int,
+    render_bool,
+    render_number,
+)
+from repro.workloads.core.schema import WorkloadFamily, scaled_to_tokens
+from repro.workloads.specs import (
+    AttentionLayerSpec,
+    ModelWorkload,
+    SEED_WORKLOADS,
+    vit_linear_layers,
+)
+
+#: Inference phases accepted by the sequence families' ``phase`` knob.
+PHASES = ("prefill", "decode")
+
+
+def _int_knob(name: str, doc: str, default: int | None) -> Knob:
+    return Knob(name, parse_positive_int, render_number, doc, default=default)
+
+
+def _check_heads_divide_dim(dim: int, heads: int, family: str) -> None:
+    if dim % heads:
+        raise KnobError(f"{family!r} needs heads to divide dim evenly; "
+                        f"got dim={dim}, heads={heads}")
+
+
+# ---------------------------------------------------------------------------------
+# Uniform single-stage transformers (DeiT and the sequence families).
+# ---------------------------------------------------------------------------------
+
+def _uniform_family(family: str, doc: str, *, tokens: int, dim: int, heads: int,
+                    layers: int, mlp_ratio: int, causal: bool = False,
+                    sequence: bool = False,
+                    reference: ModelWorkload | None = None) -> WorkloadFamily:
+    """A family of uniform transformers: one repeated attention geometry plus
+    the standard QKV/projection/MLP GEMM stack.
+
+    ``sequence=True`` adds the autoregressive knobs (``kv_tokens``,
+    ``causal``, ``phase``); the image families keep the image-shaped knob set.
+    """
+
+    knobs = [
+        _int_knob("tokens", "query tokens n", tokens),
+        _int_knob("dim", "model embedding width", dim),
+        _int_knob("heads", "attention heads (must divide dim)", heads),
+        _int_knob("layers", "transformer layer count", layers),
+        _int_knob("mlp_ratio", "MLP hidden width as a multiple of dim", mlp_ratio),
+    ]
+    if sequence:
+        knobs += [
+            _int_knob("kv_tokens", "key/value tokens — the KV-cache length "
+                                   "(defaults to tokens)", None),
+            Knob("causal", parse_bool, render_bool,
+                 "autoregressive masking (queries attend to their prefix)",
+                 default=causal),
+            Knob("phase", choice_parser(*PHASES), str,
+                 "prefill (parallel over tokens) or decode (one query against "
+                 "a kv_tokens-long cache)", default="prefill"),
+        ]
+    schema = KnobSchema(family, {knob.name: knob for knob in knobs})
+
+    def normalise(config: KnobConfig,
+                  explicit: frozenset = frozenset()) -> KnobConfig:
+        if config.get("phase", "prefill") == "decode":
+            if "kv_tokens" not in config:
+                raise KnobError(
+                    f"{family}[phase=decode] needs kv_tokens=<KV-cache length> "
+                    f"(the sequence length decoded so far)")
+            # Default the query count to a single decode step — but only
+            # when the spelling left tokens unsaid: an explicit tokens at
+            # the family default is a deliberate chunk size, not an
+            # invitation to rewrite it to 1.
+            if "tokens" not in config and "tokens" not in explicit:
+                config = config.with_knob("tokens", 1)
+            # phase is a lowering macro, not geometry: once it has shaped
+            # tokens/kv_tokens it is dropped, so decode spellings and their
+            # explicit-geometry equivalents share one canonical name (and
+            # the canonical name always re-parses).
+            config = config.without_knob("phase")
+        n = config.get("tokens", tokens)
+        kv = config.get("kv_tokens")
+        if kv == n:
+            config = config.without_knob("kv_tokens")
+            kv = None
+        if config.get("causal", causal) and kv is not None and kv < n:
+            raise KnobError(f"causal attention needs kv_tokens >= tokens, "
+                            f"got tokens={n}, kv_tokens={kv}")
+        _check_heads_divide_dim(config.get("dim", dim),
+                                config.get("heads", heads), family)
+        return config
+
+    def build(name: str, config: KnobConfig) -> ModelWorkload:
+        n = config.get("tokens", tokens)
+        model_dim = config.get("dim", dim)
+        head_count = config.get("heads", heads)
+        layer_count = config.get("layers", layers)
+        attention = AttentionLayerSpec(
+            tokens=n,
+            kv_tokens=config.get("kv_tokens", n),
+            qk_dim=model_dim // head_count,
+            heads=head_count,
+            repeats=layer_count,
+            causal=config.get("causal", causal),
+        )
+        return ModelWorkload(
+            name=name,
+            attention_layers=(attention,),
+            linear_layers=vit_linear_layers(n, model_dim, layer_count,
+                                            config.get("mlp_ratio", mlp_ratio)),
+        )
+
+    if reference is None:
+        reference = build(family, KnobConfig(family))
+    return WorkloadFamily(schema=schema, build=build, reference=reference,
+                          doc=doc, normalise=normalise)
+
+
+# ---------------------------------------------------------------------------------
+# Multi-stage pyramids (MobileViT, LeViT): the tokens knob rescales every stage.
+# ---------------------------------------------------------------------------------
+
+def _staged_family(reference: ModelWorkload, doc: str) -> WorkloadFamily:
+    family = reference.name
+    base_tokens = max(spec.tokens for spec in reference.attention_layers)
+    schema = KnobSchema(family, {"tokens": _int_knob(
+        "tokens", "dominant-stage query tokens (every stage rescales "
+                  "proportionally, floored)", base_tokens)})
+
+    def build(name: str, config: KnobConfig) -> ModelWorkload:
+        return scaled_to_tokens(reference, config.get("tokens", base_tokens),
+                                name=name)
+
+    return WorkloadFamily(schema=schema, build=build, reference=reference, doc=doc)
+
+
+# ---------------------------------------------------------------------------------
+# The family registry.
+# ---------------------------------------------------------------------------------
+
+def _deit_family(name: str, dim: int, heads: int) -> WorkloadFamily:
+    return _uniform_family(
+        name, f"DeiT ViT encoder: 12 layers over 197 tokens, dim {dim}",
+        tokens=197, dim=dim, heads=heads, layers=12, mlp_ratio=4,
+        reference=SEED_WORKLOADS[name])
+
+
+#: Every workload family, keyed by family name — the grammar's lookup table.
+FAMILIES: dict[str, WorkloadFamily] = {
+    family.family: family
+    for family in (
+        _deit_family("deit-tiny", dim=192, heads=3),
+        _deit_family("deit-small", dim=384, heads=6),
+        _deit_family("deit-base", dim=768, heads=12),
+        _staged_family(SEED_WORKLOADS["mobilevit-xxs"],
+                       "MobileViT-xxs: 256/64/16-token stages, 4 heads"),
+        _staged_family(SEED_WORKLOADS["mobilevit-xs"],
+                       "MobileViT-xs: 256/64/16-token stages, 4 heads"),
+        _staged_family(SEED_WORKLOADS["levit-128s"],
+                       "LeViT-128s: 196/49/16-token stages with shrinking attention"),
+        _staged_family(SEED_WORKLOADS["levit-128"],
+                       "LeViT-128: 196/49/16-token stages with shrinking attention"),
+        _uniform_family(
+            "encoder", "BERT-style bidirectional text encoder (base geometry)",
+            tokens=128, dim=768, heads=12, layers=12, mlp_ratio=4,
+            sequence=True),
+        _uniform_family(
+            "decoder", "GPT-style causal decoder (GPT-2-small geometry); "
+                       "phase=decode is one KV-cached autoregressive step",
+            tokens=1024, dim=768, heads=12, layers=12, mlp_ratio=4,
+            causal=True, sequence=True),
+        _uniform_family(
+            "transformer", "generic parametric transformer (DeiT-Tiny-shaped "
+                           "by default) — every knob open",
+            tokens=197, dim=192, heads=3, layers=12, mlp_ratio=4,
+            sequence=True),
+    )
+}

@@ -23,12 +23,15 @@ class AttentionLayerSpec:
 
     Attributes:
         tokens: number of query tokens ``n``.
-        kv_tokens: number of key/value tokens (differs from ``tokens`` only in
-            LeViT's shrinking attention blocks).
+        kv_tokens: number of key/value tokens (differs from ``tokens`` in
+            LeViT's shrinking attention blocks and in KV-cached decoding).
         qk_dim: per-head query/key dimension ``d``.
         v_dim: per-head value dimension (equals ``qk_dim`` except in LeViT).
         heads: number of attention heads ``h``.
         repeats: how many identical layers of this geometry the model has.
+        causal: autoregressive masking — each of the ``tokens`` queries (the
+            last ``tokens`` positions of a ``kv_tokens``-long sequence)
+            attends only to its prefix.
     """
 
     tokens: int
@@ -37,6 +40,7 @@ class AttentionLayerSpec:
     repeats: int = 1
     v_dim: int | None = None
     kv_tokens: int | None = None
+    causal: bool = False
 
     def __post_init__(self):
         if self.tokens <= 0 or self.qk_dim <= 0 or self.heads <= 0 or self.repeats <= 0:
@@ -45,6 +49,9 @@ class AttentionLayerSpec:
             object.__setattr__(self, "v_dim", self.qk_dim)
         if self.kv_tokens is None:
             object.__setattr__(self, "kv_tokens", self.tokens)
+        if self.causal and self.kv_tokens < self.tokens:
+            raise ValueError("causal attention needs kv_tokens >= tokens "
+                             "(the queries are the sequence's last positions)")
 
     @property
     def embed_dim(self) -> int:
@@ -94,7 +101,7 @@ class ModelWorkload:
         return sum(layer.macs for layer in self.linear_layers)
 
 
-def _vit_linear_layers(tokens: int, embed_dim: int, layers: int, mlp_ratio: int = 4) -> tuple[LinearLayerSpec, ...]:
+def vit_linear_layers(tokens: int, embed_dim: int, layers: int, mlp_ratio: int = 4) -> tuple[LinearLayerSpec, ...]:
     """Standard ViT per-layer dense work: QKV projection, output projection, MLP."""
 
     hidden = embed_dim * mlp_ratio
@@ -113,7 +120,7 @@ def _deit(name: str, embed_dim: int, heads: int, accuracy: float) -> ModelWorklo
         attention_layers=(
             AttentionLayerSpec(tokens=tokens, qk_dim=head_dim, heads=heads, repeats=layers),
         ),
-        linear_layers=_vit_linear_layers(tokens, embed_dim, layers),
+        linear_layers=vit_linear_layers(tokens, embed_dim, layers),
         baseline_accuracy=accuracy,
     )
 
@@ -136,7 +143,7 @@ def _mobilevit(name: str, dims: tuple[int, int, int], accuracy: float) -> ModelW
     linear = tuple(
         spec
         for tokens, dim, layers in zip(block_tokens, dims, block_layers)
-        for spec in _vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
+        for spec in vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
     )
     return ModelWorkload(name=name, attention_layers=attention, linear_layers=linear,
                          baseline_accuracy=accuracy)
@@ -166,7 +173,7 @@ def _levit(name: str, stage_layers: tuple[int, int, int], stage_heads: tuple[int
     linear = tuple(
         spec
         for tokens, dim, layers in zip(stage_tokens, embed_dims, stage_layers)
-        for spec in _vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
+        for spec in vit_linear_layers(tokens, dim, layers, mlp_ratio=2)
     )
     return ModelWorkload(name=name, attention_layers=tuple(attention), linear_layers=linear,
                          baseline_accuracy=accuracy)
@@ -176,7 +183,11 @@ LEVIT_128S = _levit("levit-128s", stage_layers=(2, 3, 4), stage_heads=(4, 6, 8),
 LEVIT_128 = _levit("levit-128", stage_layers=(4, 4, 4), stage_heads=(4, 8, 12), accuracy=78.6)
 
 
-_WORKLOADS: dict[str, ModelWorkload] = {
+#: The paper's seven evaluated models (Table I), in reporting order.  These
+#: frozen objects are the *reference geometries* of the workload families in
+#: :mod:`repro.workloads.core.families`; configured names whose knobs all sit
+#: at their reference values resolve to these exact objects.
+SEED_WORKLOADS: dict[str, ModelWorkload] = {
     workload.name: workload
     for workload in (
         DEIT_TINY,
@@ -190,18 +201,13 @@ _WORKLOADS: dict[str, ModelWorkload] = {
 }
 
 
-def get_workload(name: str) -> ModelWorkload:
-    """Look up a model workload by name (e.g. ``"deit-tiny"``)."""
-
-    try:
-        return _WORKLOADS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {sorted(_WORKLOADS)}"
-        ) from None
-
-
 def list_workloads() -> list[str]:
-    """Names of all available model workloads, in the paper's reporting order."""
+    """Names of the paper's evaluated model workloads, in reporting order.
 
-    return list(_WORKLOADS)
+    This is the default fan-out set of model sweeps (``Sweep.all_models``,
+    ``repro sweep``); the parametric families beyond the paper (``encoder``,
+    ``decoder``, ``transformer``) are listed by
+    :func:`repro.workloads.list_families` instead.
+    """
+
+    return list(SEED_WORKLOADS)

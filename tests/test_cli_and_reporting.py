@@ -91,7 +91,9 @@ class TestCLI:
 
     def test_accelerate_unknown_model_clean_error(self, capsys):
         assert main(["accelerate", "not-a-model"]) == 2
-        assert "unknown model" in capsys.readouterr().err
+        error = capsys.readouterr().err
+        assert "unknown workload" in error
+        assert "families" in error        # the error lists the families
 
     def test_accelerate_unknown_baseline_clean_error(self, capsys):
         assert main(["accelerate", "deit-tiny", "--baseline", "tpu"]) == 2
@@ -137,7 +139,7 @@ class TestCLI:
 
     def test_sweep_unknown_model(self, capsys):
         assert main(["sweep", "--models", "resnet", "--targets", "vitality"]) == 2
-        assert "unknown model" in capsys.readouterr().err
+        assert "unknown workload" in capsys.readouterr().err
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
