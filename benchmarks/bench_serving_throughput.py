@@ -3,15 +3,23 @@
 Not a paper artifact — the fleet-level counterpart of Figs. 11-12: the same
 hardware models behind the discrete-event serving simulator, measured as a
 deployment would see them (sustained throughput, tail latency, SLO
-attainment, energy per request under identical traffic).
+attainment, energy per request under identical traffic).  With ``--json DIR``
+each test leaves a ``BENCH_*.json`` record (wall seconds of one driver run
+plus the headline throughput) for the performance trajectory.
 """
 
 from repro.experiments.serving_exps import serving_comparison, serving_fleet_study
 
 
-def test_serving_throughput(benchmark, report):
+def test_serving_throughput(benchmark, report, bench_json):
     rows = benchmark(serving_comparison)
     report("Serving comparison — taylor vs vanilla fleets, identical traffic", rows)
+    taylor_rps = max(row["throughput_rps"] for label, row in rows.items()
+                     if "taylor" in label)
+    # stats.stats.mean is the per-round wall time — the "one driver run"
+    # seconds the BENCH_*.json convention records.
+    bench_json("serving_throughput", benchmark.stats.stats.mean,
+               throughput_rps=taylor_rps)
     for pair in ("accelerator", "cpu_platform"):
         taylor, vanilla = (row for label, row in rows.items()
                            if label.startswith(pair))
@@ -21,9 +29,11 @@ def test_serving_throughput(benchmark, report):
         assert taylor["p99_ms"] < vanilla["p99_ms"], pair
 
 
-def test_energy_aware_routing(benchmark, report):
+def test_energy_aware_routing(benchmark, report, bench_json):
     rows = benchmark(serving_fleet_study)
     report("Heterogeneous fleet — least-loaded vs energy-aware routing", rows)
+    bench_json("energy_aware_routing", benchmark.stats.stats.mean,
+               throughput_rps=rows["energy-aware"]["throughput_rps"])
     assert (rows["energy-aware"]["energy_per_request_mj"]
             < rows["least-loaded"]["energy_per_request_mj"])
     assert (rows["energy-aware"]["gpu_request_share"]

@@ -49,10 +49,14 @@ def sweep_parallel_study() -> dict[str, object]:
     }
 
 
-def test_sweep_parallel(benchmark, report):
+def test_sweep_parallel(benchmark, report, bench_json):
     rows = benchmark.pedantic(sweep_parallel_study, rounds=1, iterations=1)
     report("Parallel sweep — serial vs jobs=4 over 40 design points x 7 models",
            rows)
+    bench_json("sweep_parallel", rows["serial_seconds"],
+               throughput_runs_per_second=rows["runs"] / rows["serial_seconds"],
+               parallel_seconds=rows["parallel_seconds"],
+               speedup=rows["speedup"])
     assert rows["runs"] == len(CONFIGS) * 7
     # Fan-out can only pay for its process overhead when there are cores to
     # fan out onto; on >= JOBS cores the simulation work must dominate.

@@ -4,13 +4,30 @@ Each benchmark file regenerates one table or figure of the paper.  The
 benchmark fixture measures the driver's runtime; the printed report (enable
 with ``-s``) shows the reproduced rows/series next to the values the paper
 reports, which is what EXPERIMENTS.md records.
+
+Machine-readable trajectory records: run with ``--json DIR`` and benchmarks
+that call the ``bench_json`` fixture write one ``BENCH_<name>.json`` file
+each into ``DIR`` — a flat ``{"name", "seconds", ...metrics}`` record (wall
+seconds of one driver run plus whatever throughput-style metrics the
+benchmark reports), so CI and scripts can track performance over time
+without scraping pytest output::
+
+    python -m pytest benchmarks/bench_serving_throughput.py --json bench-out
+    cat bench-out/BENCH_serving_throughput.json
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--json", action="store", default=None, metavar="DIR",
+                     help="directory to write machine-readable "
+                          "BENCH_<name>.json records into")
 
 
 def print_report(title: str, payload) -> None:
@@ -30,3 +47,21 @@ def _to_serialisable(value):
 @pytest.fixture
 def report():
     return print_report
+
+
+@pytest.fixture
+def bench_json(request):
+    """Write one BENCH_<name>.json record (no-op without ``--json DIR``)."""
+
+    def write(name: str, seconds: float, **metrics) -> None:
+        directory = request.config.getoption("--json")
+        if not directory:
+            return
+        os.makedirs(directory, exist_ok=True)
+        record = {"name": name, "seconds": seconds, **metrics}
+        path = os.path.join(directory, f"BENCH_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, default=_to_serialisable)
+            handle.write("\n")
+
+    return write

@@ -19,6 +19,11 @@ Usage examples::
     python -m repro --cache-dir .repro-cache dse --jobs 4          # persistent cache
     python -m repro accelerate deit-tiny      # accelerator vs baselines for one model
     python -m repro serve --rate 200 --duration 5 --fleet 2xvitality --policy timeout
+    python -m repro serve --rate 200 --duration 5 --percentiles 50,95,99,99.9
+    python -m repro serve --traffic diurnal --rate 1200 --fleet 1xvitality \
+                          --policy fifo --autoscale utilization --scale-max 3
+    python -m repro plan --rate 1200 --slo-ms 20 \
+                         --targets "vitality,vitality[pe=32x32]"   # fleet search
 """
 
 from __future__ import annotations
@@ -43,8 +48,11 @@ from repro.experiments.dse_exps import explore_design_space
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
+from repro.plan import SCALE_POLICIES, Autoscaler, plan_capacity
 from repro.serve import (
     BATCH_POLICIES,
+    DEFAULT_PERCENTILES,
+    Fleet,
     ROUTERS,
     TRAFFIC_PATTERNS,
     make_policy,
@@ -173,8 +181,62 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-request latency SLO")
     srv.add_argument("--overhead-ms", type=float, default=0.5,
                      help="host-side dispatch overhead per batch")
+    srv.add_argument("--percentiles", default="50,95,99",
+                     help="comma-separated latency percentiles to report, "
+                          "e.g. 50,95,99,99.9 (p50/p95/p99 always included)")
+    srv.add_argument("--window-ms", type=float,
+                     help="add per-window throughput/p99/replica-count rows "
+                          "at this resolution")
+    srv.add_argument("--autoscale", choices=SCALE_POLICIES,
+                     help="make the fleet dynamic under this scaling policy")
+    srv.add_argument("--scale-unit",
+                     help="replica kind scale-ups add (default: the fleet's "
+                          "first replica kind)")
+    srv.add_argument("--scale-min", type=int, default=1,
+                     help="minimum active replicas under autoscaling")
+    srv.add_argument("--scale-max", type=int, default=8,
+                     help="maximum replicas under autoscaling")
+    srv.add_argument("--scale-interval-ms", type=float, default=250.0,
+                     help="autoscaler control period")
+    srv.add_argument("--provision-ms", type=float, default=500.0,
+                     help="delay before a scaled-up replica comes online")
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--json", action="store_true")
+
+    plan = subparsers.add_parser(
+        "plan", help="SLO-driven capacity planning: search candidate fleets, "
+                     "prune analytically, validate the best in simulation")
+    plan.add_argument("--rate", type=float, default=1200.0,
+                      help="mean arrival rate the fleet must sustain (req/s)")
+    plan.add_argument("--duration", type=float, default=2.0,
+                      help="validation-simulation length in seconds")
+    plan.add_argument("--models", default="deit-tiny",
+                      help="comma-separated workload mix (configured names work)")
+    plan.add_argument("--weights", default="",
+                      help="comma-separated mix weights matching --models")
+    plan.add_argument("--slo-ms", type=float, default=20.0,
+                      help="latency SLO the chosen fleet must meet")
+    plan.add_argument("--percentile", type=float, default=99.0,
+                      help="SLO percentile, e.g. 99 or 99.9")
+    plan.add_argument("--targets", default="vitality",
+                      help="comma-separated candidate replica kinds; configured "
+                           "design points and :attention pins work inline, "
+                           "e.g. 'vitality,vitality[pe=32x32],gpu:taylor'")
+    plan.add_argument("--max-replicas", type=int, default=8,
+                      help="largest per-kind replica count to consider")
+    plan.add_argument("--top-k", type=int, default=3,
+                      help="analytically-feasible candidates to validate in "
+                           "the discrete-event simulator")
+    plan.add_argument("--policy", default="timeout", choices=BATCH_POLICIES,
+                      help="batch-formation policy fleets are evaluated under")
+    plan.add_argument("--batch", type=int, default=8,
+                      help="target/max batch size for size and timeout batching")
+    plan.add_argument("--timeout-ms", type=float, default=2.0,
+                      help="batching window for the timeout policy")
+    plan.add_argument("--overhead-ms", type=float, default=0.5,
+                      help="host-side dispatch overhead per batch")
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--json", action="store_true")
 
     accelerate = subparsers.add_parser("accelerate",
                                        help="run the accelerator comparison for one model")
@@ -382,6 +444,32 @@ def _command_dse(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_percentiles(text: str) -> tuple[float, ...]:
+    """``"50,95,99,99.9"`` -> sorted percentile fractions incl. the defaults."""
+
+    fractions = set(DEFAULT_PERCENTILES)
+    for item in _split_csv(text):
+        value = float(item)
+        if not 0 < value < 100:
+            raise ValueError(f"percentiles must be in (0, 100), got {value}")
+        fractions.add(value / 100.0)
+    return tuple(sorted(fractions))
+
+
+def _peak_concurrent_replicas(report) -> int:
+    """Most replicas alive at once — the honest static-fleet baseline (a
+    scale-up/drain/scale-up run provisions more replicas in total than it
+    ever runs concurrently)."""
+
+    replicas = report.per_replica
+    return max(
+        sum(1 for other in replicas
+            if other.started_at <= replica.started_at
+            and (other.retired_at is None
+                 or other.retired_at > replica.started_at))
+        for replica in replicas)
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     models = split_configured_names(arguments.models)
     weights: tuple[float, ...] | None = None
@@ -401,8 +489,19 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError) as error:
             return _fail(f"cannot read trace {arguments.trace!r}: {error}")
     try:
+        percentiles = _parse_percentiles(arguments.percentiles)
         traffic = make_traffic(arguments.traffic, arguments.rate, models,
                                weights, period=arguments.period, trace=trace)
+        autoscaler = None
+        if arguments.autoscale:
+            unit = arguments.scale_unit or \
+                Fleet.parse(arguments.fleet).replica_specs[0].label
+            autoscaler = Autoscaler(
+                arguments.autoscale, unit,
+                min_replicas=arguments.scale_min,
+                max_replicas=arguments.scale_max,
+                interval=arguments.scale_interval_ms * 1e-3,
+                provision_seconds=arguments.provision_ms * 1e-3)
         report = serve(
             traffic, arguments.fleet,
             make_policy(arguments.policy, batch_size=arguments.batch,
@@ -410,7 +509,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             make_router(arguments.router),
             duration=arguments.duration, seed=arguments.seed,
             slo_seconds=arguments.slo_ms * 1e-3,
-            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3)
+            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
+            autoscaler=autoscaler, percentiles=percentiles,
+            window_seconds=(None if arguments.window_ms is None
+                            else arguments.window_ms * 1e-3))
     except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
@@ -424,11 +526,88 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     print(markdown_table([replica.to_dict() for replica in report.per_replica],
                          ["name", "requests", "batches", "utilization",
                           "energy_joules"]))
+    if report.windows is not None:
+        print()
+        print(markdown_table([window.to_dict() for window in report.windows],
+                             ["start", "end", "arrivals", "completed",
+                              "throughput_rps", "p99", "mean_active_replicas"]))
+    if report.scale_events:
+        print()
+        print(markdown_table([event.to_dict() for event in report.scale_events],
+                             ["time", "action", "replica", "detail"]))
+        peak = _peak_concurrent_replicas(report)
+        print(f"\nreplica-seconds provisioned: {report.replica_seconds:.3f} "
+              f"(a static fleet of the peak {peak} would be "
+              f"{peak * report.makespan:.3f})")
     cache = report.cache
     print(f"\n{report.completed}/{report.offered} requests served in "
           f"{report.makespan:.3f}s — engine cache: {cache.hits} hits, "
           f"{cache.misses} misses, {cache.evictions} evictions "
           f"(bound {cache.max_entries})")
+    return 0
+
+
+def _command_plan(arguments: argparse.Namespace) -> int:
+    models = split_configured_names(arguments.models)
+    targets = split_configured_names(arguments.targets)
+    if not targets:
+        return _fail("no candidate targets given")
+    weights: tuple[float, ...] | None = None
+    if arguments.weights:
+        try:
+            weights = tuple(float(weight) for weight in _split_csv(arguments.weights))
+        except ValueError:
+            return _fail(f"--weights must be comma-separated numbers, "
+                         f"got {arguments.weights!r}")
+    if not 0 < arguments.percentile < 100:
+        return _fail(f"--percentile must be in (0, 100), got {arguments.percentile}")
+    try:
+        payload = plan_capacity(
+            arguments.rate, models, weights=weights,
+            slo_seconds=arguments.slo_ms * 1e-3,
+            slo_percentile=arguments.percentile / 100.0,
+            duration=arguments.duration, targets=targets,
+            max_replicas=arguments.max_replicas, top_k=arguments.top_k,
+            policy=arguments.policy, batch_size=arguments.batch,
+            timeout=arguments.timeout_ms * 1e-3,
+            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
+            seed=arguments.seed, cache=_make_cache(arguments))
+    except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    label = f"p{arguments.percentile:g}"
+    candidate_columns = ["fleet", "predicted_utilization",
+                         f"predicted_{label}_ms", "area_mm2",
+                         "energy_per_request_mj", "predicted_feasible"]
+    print(markdown_table([{key: candidate[key] for key in candidate_columns}
+                          for candidate in payload["candidates"]]))
+    if payload["validated"]:
+        print()
+        print(markdown_table(
+            [{key: candidate[key] for key in
+              ("fleet", f"{label}_ms", "slo_violation_rate", "throughput_rps",
+               "energy_per_request_mj", "slo_attained", "pareto")}
+             for candidate in payload["validated"]]))
+    chosen = payload["chosen"]
+    if chosen is None:
+        print(f"\nno candidate met the {label} <= {arguments.slo_ms:g}ms SLO "
+              f"at {arguments.rate:g} req/s — raise --max-replicas or widen "
+              f"--targets")
+    else:
+        print(f"\nchosen: {chosen['fleet']} — {label} "
+              f"{chosen[f'{label}_ms']:.2f}ms <= {arguments.slo_ms:g}ms at "
+              f"{arguments.rate:g} req/s")
+        boundary = payload["boundary"]
+        if boundary is not None:
+            verdict = "meets" if boundary["slo_attained"] else "misses"
+            print(f"boundary: {boundary['fleet']} {verdict} the SLO "
+                  f"({label} {boundary[f'{label}_ms']:.2f}ms)")
+    print(f"\n{len(payload['validated'])} of {payload['evaluated']} candidates "
+          f"validated in simulation (objectives: "
+          f"{', '.join(payload['objectives'])})")
     return 0
 
 
@@ -494,6 +673,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_dse(arguments)
     if arguments.command == "serve":
         return _command_serve(arguments)
+    if arguments.command == "plan":
+        return _command_plan(arguments)
     if arguments.command == "accelerate":
         return _command_accelerate(arguments)
     return 1

@@ -51,6 +51,7 @@ from repro.engine.targets import (
     list_targets,
     register_target,
     split_configured_names,
+    target_area_mm2,
 )
 from repro.workloads import UnknownWorkloadError, canonical_workload_name
 
@@ -85,4 +86,5 @@ __all__ = [
     "simulate",
     "split_configured_names",
     "sweep",
+    "target_area_mm2",
 ]

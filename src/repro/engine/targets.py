@@ -504,6 +504,18 @@ def list_targets() -> list[str]:
     return list(_TARGETS)
 
 
+def target_area_mm2(name: str) -> float | None:
+    """Silicon area of one target's design point, ``None`` where unmodelled.
+
+    Accelerator targets derive their area from the configured design point;
+    the analytic platform models (CPU/GPU/edge) have no silicon-area model —
+    consumers (the DSE Pareto frontier, the capacity planner's cost axis)
+    drop the axis rather than fake it.
+    """
+
+    return getattr(get_target(name), "area_mm2", None)
+
+
 register_target(VitalityTarget("vitality"))
 register_target(VitalityTarget("vitality-gstationary", dataflow=Dataflow.G_STATIONARY))
 register_target(VitalityTarget("vitality-unpipelined", pipelined=False))

@@ -23,6 +23,7 @@ from repro.experiments import (
     serving_exps,
     dse_exps,
     seqscale_exps,
+    plan_exps,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "serving_exps",
     "dse_exps",
     "seqscale_exps",
+    "plan_exps",
 ]

@@ -18,32 +18,15 @@ from __future__ import annotations
 import itertools
 from typing import Sequence
 
-from repro.engine import ResultCache, Sweep, get_target
+from repro.engine import ResultCache, Sweep, get_target, target_area_mm2
+from repro.plan.optimizer import pareto_frontier
+
+__all__ = ["explore_design_space", "pareto_frontier"]
 
 #: Default exploration space: a 3 x 3 x 3 cube around the Table III point.
 DEFAULT_PE = ("32x32", "64x64", "128x128")
 DEFAULT_FREQ = ("250mhz", "500mhz", "1ghz")
 DEFAULT_SRAM_KB = (100, 200, 400)
-
-
-def pareto_frontier(points: Sequence[dict], keys: Sequence[str]) -> list[dict]:
-    """The non-dominated subset of ``points`` under minimisation of ``keys``.
-
-    A point is dominated when some other point is no worse on every key and
-    strictly better on at least one.  Ties (identical coordinates) survive
-    together.  Returns the frontier sorted by the first key.
-    """
-
-    frontier = []
-    for point in points:
-        dominated = any(
-            all(other[key] <= point[key] for key in keys)
-            and any(other[key] < point[key] for key in keys)
-            for other in points if other is not point
-        )
-        if not dominated:
-            frontier.append(point)
-    return sorted(frontier, key=lambda point: tuple(point[key] for key in keys))
 
 
 def explore_design_space(model: str = "deit-tiny",
@@ -80,7 +63,7 @@ def explore_design_space(model: str = "deit-tiny",
             "config": result.config,
             "latency_ms": result.end_to_end_latency * 1e3,
             "energy_mj": result.end_to_end_energy * 1e3,
-            "area_mm2": getattr(resolved, "area_mm2", None),
+            "area_mm2": target_area_mm2(spec.target),
             "peak_gmacs": resolved.peak_macs_per_second / 1e9,
         })
 

@@ -1,0 +1,79 @@
+"""Capacity-planning experiments: the operator loop over the serving layer.
+
+* :func:`capacity_planning` — the SLO-driven fleet search on a reference
+  scenario: two candidate design points (the Table III ViTALiTy and a
+  scaled-down 32x32 variant), one saturating arrival rate, one p99 SLO.  The
+  payload shows the analytic prune, the simulated validation, the chosen
+  fleet and the one-replica-smaller boundary fleet that misses the SLO.
+* :func:`autoscale_study` — diurnal traffic on a fixed peak-sized fleet vs
+  the same traffic on an autoscaled fleet (utilization-threshold policy):
+  both meet the SLO, the autoscaled run provisions strictly fewer
+  replica-seconds — capacity follows the day/night curve instead of being
+  pinned at the peak.
+"""
+
+from __future__ import annotations
+
+from repro.plan import Autoscaler, plan_capacity
+from repro.serve import DiurnalTraffic, ServeReport, WorkloadMix, serve
+
+
+def capacity_planning(quick: bool = True, model: str = "deit-tiny",
+                      rate: float = 1200.0,
+                      slo_ms: float = 20.0) -> dict[str, object]:
+    """Cheapest fleet meeting a p99 SLO under saturating Poisson traffic."""
+
+    return plan_capacity(
+        rate, [model], slo_seconds=slo_ms * 1e-3,
+        duration=1.0 if quick else 4.0,
+        targets=("vitality", "vitality[pe=32x32]"),
+        max_replicas=6, top_k=3, policy="fifo", seed=0)
+
+
+def _autoscale_row(report: ServeReport, slo_ms: float) -> dict[str, float]:
+    return {
+        "completed": report.completed,
+        "throughput_rps": report.throughput_rps,
+        "p99_ms": report.latency.p99 * 1e3,
+        "slo_ms": slo_ms,
+        "slo_attained": report.latency.p99 * 1e3 <= slo_ms,
+        "slo_violation_rate": report.slo_violation_rate,
+        "replica_seconds": report.replica_seconds,
+        "scale_events": len(report.scale_events),
+    }
+
+
+def autoscale_study(quick: bool = True, model: str = "deit-tiny",
+                    peak_rate: float = 1200.0, peak_replicas: int = 3,
+                    slo_ms: float = 30.0) -> dict[str, object]:
+    """Static peak-sized fleet vs autoscaling under the same diurnal traffic.
+
+    Returns ``{"static": row, "autoscaled": row, "replica_seconds_saved",
+    "savings_fraction"}``; both rows meet the SLO, the autoscaled one on
+    strictly fewer provisioned replica-seconds.
+    """
+
+    duration = 4.0 if quick else 12.0
+    traffic = DiurnalTraffic(peak_rate=peak_rate, mix=WorkloadMix.of([model]),
+                             period=duration)
+    static = serve(traffic, f"{peak_replicas}xvitality", policy="fifo",
+                   duration=duration, seed=0, slo_seconds=slo_ms * 1e-3,
+                   window_seconds=duration / 8)
+    scaler = Autoscaler("utilization", "vitality", min_replicas=1,
+                        max_replicas=peak_replicas, interval=duration / 40,
+                        provision_seconds=duration / 20)
+    autoscaled = serve(traffic, "1xvitality", policy="fifo",
+                       duration=duration, seed=0, slo_seconds=slo_ms * 1e-3,
+                       autoscaler=scaler, window_seconds=duration / 8)
+    saved = static.replica_seconds - autoscaled.replica_seconds
+    return {
+        "traffic": traffic.to_dict(),
+        "static": _autoscale_row(static, slo_ms),
+        "autoscaled": _autoscale_row(autoscaled, slo_ms),
+        "replica_seconds_saved": saved,
+        "savings_fraction": saved / static.replica_seconds,
+        "autoscaled_windows": [window.to_dict()
+                               for window in autoscaled.windows],
+        "autoscaled_scale_events": [event.to_dict()
+                                    for event in autoscaled.scale_events],
+    }

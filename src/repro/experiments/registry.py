@@ -10,6 +10,7 @@ from repro.experiments import (
     complexity,
     dse_exps,
     hardware_exps,
+    plan_exps,
     profiling_exps,
     seqscale_exps,
     serving_exps,
@@ -81,6 +82,10 @@ _register("dse", "Design-space exploration: PE array x frequency x SRAM Pareto",
           "beyond the paper", dse_exps.explore_design_space)
 _register("seqscale", "Sequence-length scaling: vanilla/taylor crossover",
           "beyond the paper", seqscale_exps.seqscale_experiment)
+_register("capacity", "SLO-driven capacity planning: cheapest fleet meeting p99",
+          "beyond the paper", plan_exps.capacity_planning)
+_register("autoscale", "Autoscaling vs a peak-sized static fleet (diurnal load)",
+          "beyond the paper", plan_exps.autoscale_study)
 
 
 def list_experiments() -> list[str]:

@@ -1,0 +1,67 @@
+"""Capacity planning and autoscaling over the serving simulator.
+
+Where :mod:`repro.serve` evaluates one *fixed* fleet under one traffic
+pattern, this package closes the operator's loop:
+
+* :mod:`queueing` — an analytic M/M/c-style estimator with batch-aware
+  service times from cached engine results: utilization, throughput ceiling
+  and approximate latency percentiles for a candidate fleet in microseconds;
+* :mod:`autoscaler` — pluggable scaling policies (utilization-threshold,
+  queue-depth, scheduled) behind an :class:`Autoscaler` the simulator's
+  event loop consults, with provisioning delay and drain semantics;
+* :mod:`optimizer` — :func:`plan_capacity`, the SLO-driven fleet search:
+  enumerate candidate fleets, prune with the analytic model, validate the
+  survivors in simulation, report the chosen fleet and the cost-vs-SLO
+  Pareto frontier.
+
+Typical use::
+
+    from repro.plan import Autoscaler, estimate_fleet, plan_capacity
+    from repro.serve import DiurnalTraffic, WorkloadMix, serve
+
+    payload = plan_capacity(900.0, ["deit-tiny"], slo_seconds=0.02,
+                            duration=2.0, targets=("vitality",))
+    print(payload["chosen"]["fleet"])
+
+    scaler = Autoscaler("utilization", "vitality", min_replicas=1,
+                        max_replicas=4, interval=0.1, provision_seconds=0.2)
+    traffic = DiurnalTraffic(peak_rate=900.0, mix=WorkloadMix.of(["deit-tiny"]))
+    report = serve(traffic, "1xvitality", policy="fifo", duration=8.0,
+                   autoscaler=scaler, window_seconds=1.0)
+    print(report.replica_seconds, [e.to_dict() for e in report.scale_events])
+"""
+
+from repro.plan.autoscaler import (
+    SCALE_POLICIES,
+    Autoscaler,
+    QueueDepthScalePolicy,
+    ScalePolicy,
+    ScaleState,
+    ScheduledScalePolicy,
+    UtilizationScalePolicy,
+    make_scale_policy,
+)
+from repro.plan.optimizer import pareto_frontier, plan_capacity
+from repro.plan.queueing import (
+    QueueingEstimate,
+    ServiceTimes,
+    erlang_c,
+    estimate_fleet,
+)
+
+__all__ = [
+    "Autoscaler",
+    "QueueDepthScalePolicy",
+    "QueueingEstimate",
+    "SCALE_POLICIES",
+    "ScalePolicy",
+    "ScaleState",
+    "ScheduledScalePolicy",
+    "ServiceTimes",
+    "UtilizationScalePolicy",
+    "erlang_c",
+    "estimate_fleet",
+    "make_scale_policy",
+    "pareto_frontier",
+    "plan_capacity",
+]

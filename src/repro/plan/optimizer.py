@@ -1,0 +1,221 @@
+"""SLO-driven capacity planning: search fleets, prune analytically, validate.
+
+:func:`plan_capacity` answers the operator question the serving simulator
+alone cannot: *what is the cheapest fleet that meets a p99 latency SLO under
+this traffic?*  The search composes the layers below it:
+
+1. **Enumerate** candidate fleets — every replica kind in ``targets``
+   (configured design points and attention pins included) at every count up
+   to ``max_replicas``;
+2. **Prune** with the analytic queueing model (:mod:`repro.plan.queueing`):
+   unstable fleets and fleets whose predicted SLO-percentile latency exceeds
+   the SLO by more than the safety ``margin`` are discarded in microseconds;
+3. **Validate** the ``top_k`` cheapest survivors with the discrete-event
+   simulator (:func:`repro.serve.serve`) under the real traffic pattern, and
+   check the *measured* percentile against the SLO;
+4. **Report** the chosen fleet (cheapest validated fleet meeting the SLO),
+   the one-replica-smaller boundary fleet (evidence the choice is minimal),
+   and the cost-vs-SLO-attainment Pareto frontier over everything validated.
+
+Cost is silicon area (mm² per fleet) when every candidate kind models it,
+falling back to energy per request for platform targets; both are reported
+per candidate either way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine import target_area_mm2
+from repro.serve.cluster import Fleet, ReplicaSpec
+from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
+from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD, serve
+from repro.serve.traffic import PoissonTraffic, TrafficPattern, WorkloadMix
+from repro.plan.queueing import ServiceTimes, estimate_fleet
+
+
+def pareto_frontier(points: Sequence[dict], keys: Sequence[str]) -> list[dict]:
+    """The non-dominated subset of ``points`` under minimisation of ``keys``.
+
+    A point is dominated when some other point is no worse on every key and
+    strictly better on at least one.  Ties (identical coordinates) survive
+    together.  Returns the frontier sorted by the first key.
+    """
+
+    frontier = []
+    for point in points:
+        dominated = any(
+            all(other[key] <= point[key] for key in keys)
+            and any(other[key] < point[key] for key in keys)
+            for other in points if other is not point
+        )
+        if not dominated:
+            frontier.append(point)
+    return sorted(frontier, key=lambda point: tuple(point[key] for key in keys))
+
+
+def _kind_area(kind: str) -> float | None:
+    """Silicon area of one replica of ``kind``, None for platform targets."""
+
+    return target_area_mm2(ReplicaSpec.parse(kind).target)
+
+
+def plan_capacity(rate: float, models: Sequence[str] | str, *,
+                  slo_seconds: float, duration: float,
+                  slo_percentile: float = 0.99,
+                  targets: Sequence[str] = ("vitality",),
+                  weights: Sequence[float] | None = None,
+                  max_replicas: int = 8, top_k: int = 3,
+                  traffic: TrafficPattern | None = None,
+                  policy: str = "timeout", batch_size: int = 8,
+                  timeout: float = 2e-3,
+                  dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
+                  router: str = "least-loaded", seed: int = 0,
+                  margin: float = 1.25,
+                  cache=None) -> dict[str, object]:
+    """Search for the cheapest fleet meeting the SLO; return the full payload.
+
+    ``targets`` are replica kinds (``"vitality"``, ``"vitality[pe=32x32]"``,
+    ``"gpu:taylor"``); candidates are homogeneous ``count x kind`` fleets.
+    ``traffic`` defaults to Poisson at ``rate``; pass a pattern instance
+    (bursty, diurnal, replay) to validate under different arrivals — the
+    analytic prune always models the mean ``rate``.  ``margin`` loosens the
+    analytic prune (predicted percentile up to ``margin * slo``) so
+    near-boundary fleets still reach validation.  Deterministic for a fixed
+    ``seed``: same arguments, bit-identical payload.
+    """
+
+    if slo_seconds <= 0:
+        raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+    if max_replicas < 1:
+        raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    if not targets:
+        raise ValueError("the search space needs at least one target kind")
+    if isinstance(models, str):
+        models = [models]
+    mix = WorkloadMix.of(tuple(models), weights)
+    if traffic is None:
+        traffic = PoissonTraffic(rate=rate, mix=mix)
+    service_times = ServiceTimes(dispatch_overhead_seconds, cache=cache)
+    label = percentile_label(slo_percentile)
+    percentiles = tuple(sorted(set(DEFAULT_PERCENTILES) | {slo_percentile}))
+    areas = {kind: _kind_area(kind) for kind in dict.fromkeys(targets)}
+    cost_key = "area_mm2" if all(area is not None for area in areas.values()) \
+        else "energy_per_request_mj"
+
+    candidates = []
+    for kind in dict.fromkeys(targets):
+        for count in range(1, max_replicas + 1):
+            estimate = estimate_fleet(
+                f"{count}x{kind}", rate, mix, policy=policy,
+                batch_size=batch_size, timeout=timeout,
+                dispatch_overhead_seconds=dispatch_overhead_seconds,
+                percentiles=(slo_percentile,), service_times=service_times)
+            predicted = estimate.predicted(slo_percentile)
+            feasible = estimate.stable and predicted is not None \
+                and predicted <= slo_seconds * margin
+            area = areas[kind]
+            candidates.append({
+                "kind": kind,
+                "replicas": count,
+                "fleet": f"{count}x{kind}",
+                "area_mm2": None if area is None else area * count,
+                "energy_per_request_mj":
+                    estimate.energy_per_request_joules * 1e3,
+                "predicted_utilization": estimate.utilization,
+                f"predicted_{label}_ms":
+                    None if predicted is None else predicted * 1e3,
+                "predicted_feasible": feasible,
+                "analytic": estimate.to_dict(),
+            })
+
+    def cost(candidate: dict) -> tuple:
+        return (candidate[cost_key] if candidate[cost_key] is not None
+                else float("inf"),
+                candidate["energy_per_request_mj"],
+                candidate["replicas"], candidate["kind"])
+
+    shortlist = sorted((candidate for candidate in candidates
+                        if candidate["predicted_feasible"]), key=cost)[:top_k]
+
+    validated = []
+    for candidate in shortlist:
+        # Validation shares the prune's engine cache: every (model, target,
+        # batch) shape the analytic pass already simulated is free here (and
+        # a --cache-dir DiskResultCache persists both phases).
+        report = serve(traffic, candidate["fleet"], policy=policy,
+                       router=router, duration=duration, seed=seed,
+                       slo_seconds=slo_seconds,
+                       dispatch_overhead_seconds=dispatch_overhead_seconds,
+                       percentiles=percentiles, cache=service_times.cache)
+        measured = report.latency.quantile(slo_percentile)
+        validated.append({
+            "kind": candidate["kind"],
+            "replicas": candidate["replicas"],
+            "fleet": candidate["fleet"],
+            "area_mm2": candidate["area_mm2"],
+            f"predicted_{label}_ms": candidate[f"predicted_{label}_ms"],
+            f"{label}_ms": measured * 1e3,
+            "slo_attained": measured <= slo_seconds,
+            "slo_violation_rate": report.slo_violation_rate,
+            "throughput_rps": report.throughput_rps,
+            "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+            "replica_seconds": report.replica_seconds,
+        })
+
+    attained = [candidate for candidate in validated if candidate["slo_attained"]]
+    chosen = min(attained, key=cost) if attained else None
+
+    boundary = None
+    if chosen is not None and chosen["replicas"] > 1:
+        smaller = f"{chosen['replicas'] - 1}x{chosen['kind']}"
+        already = next((candidate for candidate in validated
+                        if candidate["fleet"] == smaller), None)
+        if already is not None:      # shortlisted earlier: don't re-simulate
+            boundary = {key: already[key] for key in
+                        ("fleet", f"{label}_ms", "slo_attained",
+                         "slo_violation_rate", "throughput_rps")}
+        else:
+            report = serve(traffic, smaller, policy=policy, router=router,
+                           duration=duration, seed=seed,
+                           slo_seconds=slo_seconds,
+                           dispatch_overhead_seconds=dispatch_overhead_seconds,
+                           percentiles=percentiles, cache=service_times.cache)
+            measured = report.latency.quantile(slo_percentile)
+            boundary = {
+                "fleet": smaller,
+                f"{label}_ms": measured * 1e3,
+                "slo_attained": measured <= slo_seconds,
+                "slo_violation_rate": report.slo_violation_rate,
+                "throughput_rps": report.throughput_rps,
+            }
+
+    frontier_points = [dict(candidate) for candidate in validated
+                       if candidate[cost_key] is not None]
+    frontier = pareto_frontier(frontier_points,
+                               [cost_key, "slo_violation_rate"])
+    frontier_fleets = {point["fleet"] for point in frontier}
+    for candidate in validated:
+        candidate["pareto"] = candidate["fleet"] in frontier_fleets
+
+    return {
+        "config": {
+            "rate": rate, "mix": mix.to_dict(), "slo_seconds": slo_seconds,
+            "slo_percentile": slo_percentile, "targets": list(targets),
+            "max_replicas": max_replicas, "top_k": top_k, "policy": policy,
+            "batch_size": batch_size, "timeout": timeout,
+            "dispatch_overhead_seconds": dispatch_overhead_seconds,
+            "router": router, "duration": duration, "seed": seed,
+            "margin": margin, "traffic": traffic.to_dict(),
+        },
+        "objectives": [cost_key, "slo_violation_rate"],
+        "evaluated": len(candidates),
+        "candidates": candidates,
+        "validated": validated,
+        "chosen": chosen,
+        "boundary": boundary,
+        "pareto_frontier": frontier,
+        "cache": service_times.cache.stats().to_dict(),
+    }

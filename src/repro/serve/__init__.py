@@ -48,12 +48,16 @@ from repro.serve.cluster import (
     make_router,
 )
 from repro.serve.metrics import (
+    DEFAULT_PERCENTILES,
     LatencySummary,
     ReplicaReport,
     RequestRecord,
+    ScaleEvent,
     ServeReport,
+    WindowReport,
     build_report,
     percentile,
+    percentile_label,
 )
 from repro.serve.simulator import (
     DEFAULT_CACHE_ENTRIES,
@@ -80,6 +84,7 @@ __all__ = [
     "BurstyTraffic",
     "DEFAULT_CACHE_ENTRIES",
     "DEFAULT_DISPATCH_OVERHEAD",
+    "DEFAULT_PERCENTILES",
     "DEFAULT_SLO",
     "DiurnalTraffic",
     "EnergyAwareRouter",
@@ -97,11 +102,13 @@ __all__ = [
     "Request",
     "RequestRecord",
     "Router",
+    "ScaleEvent",
     "ServeReport",
     "SizeBatchPolicy",
     "TRAFFIC_PATTERNS",
     "TimeoutBatchPolicy",
     "TrafficPattern",
+    "WindowReport",
     "WorkloadMix",
     "build_report",
     "compare",
@@ -109,5 +116,6 @@ __all__ = [
     "make_router",
     "make_traffic",
     "percentile",
+    "percentile_label",
     "serve",
 ]

@@ -57,20 +57,37 @@ class ReplicaSpec:
             raise ValueError(f"attention must be one of {ATTENTION_MODES}, "
                              f"got {self.attention!r}")
 
+    @classmethod
+    def parse(cls, text: str) -> "ReplicaSpec":
+        """Parse one replica-kind label (``"gpu:taylor"``, ``"vitality"``)."""
+
+        target, _, attention = text.partition(":")
+        return cls(target, attention or None)
+
     @property
     def label(self) -> str:
         return self.target if self.attention is None else f"{self.target}:{self.attention}"
 
 
 class Replica:
-    """One serving instance: an engine target with a queue and accounting."""
+    """One serving instance: an engine target with a queue and accounting.
 
-    def __init__(self, index: int, ordinal: int, spec: ReplicaSpec):
+    ``started_at`` / ``retired_at`` bound the replica's provisioned lifetime
+    (autoscaled runs add replicas mid-run and retire drained ones); ``active``
+    is False while the replica drains — routers skip it, but its queue keeps
+    dispatching until empty.
+    """
+
+    def __init__(self, index: int, ordinal: int, spec: ReplicaSpec,
+                 started_at: float = 0.0):
         self.index = index                       # fleet-wide position (tie-breaks)
         self.spec = spec
         self.name = f"{spec.label}#{ordinal}"
+        self.started_at = started_at
         self.queue: deque[Request] = deque()
         self.queued_seconds = 0.0                # estimated service time queued
+        self.active = True                       # accepting routed requests
+        self.retired_at: float | None = None     # set once drained and idle
         self.busy_until = 0.0
         self.busy_seconds = 0.0
         self.energy_joules = 0.0
@@ -83,6 +100,8 @@ class Replica:
 
         self.queue.clear()
         self.queued_seconds = 0.0
+        self.active = True
+        self.retired_at = None
         self.busy_until = 0.0
         self.busy_seconds = 0.0
         self.energy_joules = 0.0
@@ -91,6 +110,12 @@ class Replica:
 
     def idle(self, now: float) -> bool:
         return self.busy_until <= now
+
+    def lifetime_seconds(self, makespan: float) -> float:
+        """Provisioned replica-seconds this replica contributed to the run."""
+
+        end = self.retired_at if self.retired_at is not None else makespan
+        return max(end - self.started_at, 0.0)
 
     def backlog_seconds(self, now: float) -> float:
         """Remaining busy time plus the estimated service time of the queue.
@@ -104,19 +129,25 @@ class Replica:
 
 
 class Fleet:
-    """An ordered collection of replicas built from :class:`ReplicaSpec`s."""
+    """An ordered collection of replicas built from :class:`ReplicaSpec`s.
+
+    The constructed replicas are the fleet's *static* composition; autoscaled
+    runs grow it with :meth:`add_replica` and :meth:`reset` restores the
+    static composition, so one Fleet can back any number of independent runs.
+    """
 
     def __init__(self, specs: Sequence[ReplicaSpec]):
         if not specs:
             raise ValueError("a fleet needs at least one replica")
         self.replica_specs = tuple(specs)
-        ordinals: dict[str, int] = {}
+        self._ordinals: dict[str, int] = {}
         replicas = []
         for index, spec in enumerate(self.replica_specs):
-            ordinal = ordinals.get(spec.label, 0)
-            ordinals[spec.label] = ordinal + 1
+            ordinal = self._ordinals.get(spec.label, 0)
+            self._ordinals[spec.label] = ordinal + 1
             replicas.append(Replica(index, ordinal, spec))
         self.replicas = tuple(replicas)
+        self._static_count = len(replicas)
 
     @classmethod
     def parse(cls, text: str) -> "Fleet":
@@ -137,12 +168,41 @@ class Fleet:
                 count, body = 1, part
             if count < 1:
                 raise ValueError(f"replica count must be >= 1 in {part!r}")
-            target, _, attention = body.partition(":")
-            specs.extend(ReplicaSpec(target, attention or None)
-                         for _ in range(count))
+            specs.extend(ReplicaSpec.parse(body) for _ in range(count))
         if not specs:
             raise ValueError(f"empty fleet spec {text!r}")
         return cls(specs)
+
+    @property
+    def active_replicas(self) -> tuple[Replica, ...]:
+        """The replicas currently accepting routed requests."""
+
+        return tuple(replica for replica in self.replicas if replica.active)
+
+    def add_replica(self, spec: ReplicaSpec, now: float) -> Replica:
+        """Bring one more replica of ``spec`` online at time ``now``.
+
+        The autoscaler's scale-up hook: the new replica joins the routing set
+        immediately (provisioning delay is the *caller's* concern — the
+        simulator schedules this call ``provision_seconds`` after the scale
+        decision) and is dropped again by :meth:`reset`.
+        """
+
+        ordinal = self._ordinals.get(spec.label, 0)
+        self._ordinals[spec.label] = ordinal + 1
+        replica = Replica(len(self.replicas), ordinal, spec, started_at=now)
+        self.replicas = self.replicas + (replica,)
+        return replica
+
+    def reset(self) -> None:
+        """Restore the static composition and pristine per-replica state."""
+
+        self.replicas = self.replicas[:self._static_count]
+        self._ordinals = {}
+        for replica in self.replicas:
+            self._ordinals[replica.spec.label] = \
+                self._ordinals.get(replica.spec.label, 0) + 1
+            replica.reset()
 
     def describe(self) -> str:
         """The canonical spec string (``"2xvitality,1xgpu:taylor"``)."""

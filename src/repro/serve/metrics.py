@@ -13,10 +13,20 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine import CacheStats
+
+#: Latency quantiles every report carries (the pre-configurable-percentile
+#: default — the JSON shape with exactly these is the backward-compatible one).
+DEFAULT_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def percentile_label(fraction: float) -> str:
+    """The JSON key for one latency quantile (``0.999`` -> ``"p99.9"``)."""
+
+    return f"p{fraction * 100:g}"
 
 
 @dataclass(frozen=True)
@@ -58,7 +68,13 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Order statistics of one latency-like sample (seconds)."""
+    """Order statistics of one latency-like sample (seconds).
+
+    p50/p95/p99 are always present (the backward-compatible JSON shape);
+    any further quantiles requested through ``percentiles`` — p99.9 for tail
+    SLOs, say — ride along in ``extras`` and serialise as additional
+    ``"p99.9"``-style keys.
+    """
 
     count: int
     mean: float
@@ -66,18 +82,82 @@ class LatencySummary:
     p95: float
     p99: float
     max: float
+    extras: tuple[tuple[str, float], ...] = field(default_factory=tuple)
 
     @classmethod
-    def of(cls, values: Sequence[float]) -> "LatencySummary":
+    def of(cls, values: Sequence[float],
+           percentiles: Sequence[float] = DEFAULT_PERCENTILES) -> "LatencySummary":
+        extra_fractions = tuple(sorted(fraction for fraction in set(percentiles)
+                                       if fraction not in DEFAULT_PERCENTILES))
         if not values:
-            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0,
+                       extras=tuple((percentile_label(fraction), 0.0)
+                                    for fraction in extra_fractions))
         return cls(count=len(values), mean=sum(values) / len(values),
                    p50=percentile(values, 0.50), p95=percentile(values, 0.95),
-                   p99=percentile(values, 0.99), max=max(values))
+                   p99=percentile(values, 0.99), max=max(values),
+                   extras=tuple((percentile_label(fraction),
+                                 percentile(values, fraction))
+                                for fraction in extra_fractions))
+
+    def quantile(self, fraction: float) -> float:
+        """Look up one reported quantile (base or extra) by its fraction."""
+
+        base = {0.5: self.p50, 0.95: self.p95, 0.99: self.p99}
+        if fraction in base:
+            return base[fraction]
+        label = percentile_label(fraction)
+        for key, value in self.extras:
+            if key == label:
+                return value
+        raise KeyError(f"percentile {label} was not computed for this summary; "
+                       f"request it via the percentiles knob")
 
     def to_dict(self) -> dict[str, object]:
-        return {"count": self.count, "mean": self.mean, "p50": self.p50,
-                "p95": self.p95, "p99": self.p99, "max": self.max}
+        payload: dict[str, object] = {
+            "count": self.count, "mean": self.mean, "p50": self.p50,
+            "p95": self.p95, "p99": self.p99, "max": self.max}
+        payload.update(self.extras)
+        return payload
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling action, timestamped for the report.
+
+    ``action`` is one of ``"scale-up"`` (capacity requested), ``"online"``
+    (provisioned replica joined the routing set), ``"drain"`` (replica marked
+    inactive, queue still emptying) and ``"retired"`` (drained replica went
+    idle with an empty queue).
+    """
+
+    time: float
+    action: str
+    replica: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {"time": self.time, "action": self.action,
+                "replica": self.replica, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """One fixed-width time slice of the run — the resolution scale events
+    become visible at (replica counts and tails move window to window)."""
+
+    start: float
+    end: float
+    arrivals: int
+    completed: int
+    throughput_rps: float
+    p99: float                          # of latencies completing in-window
+    mean_active_replicas: float         # provisioned-lifetime overlap / width
+
+    def to_dict(self) -> dict[str, object]:
+        return {"start": self.start, "end": self.end, "arrivals": self.arrivals,
+                "completed": self.completed, "throughput_rps": self.throughput_rps,
+                "p99": self.p99, "mean_active_replicas": self.mean_active_replicas}
 
 
 @dataclass(frozen=True)
@@ -92,12 +172,15 @@ class ReplicaReport:
     busy_seconds: float
     utilization: float
     energy_joules: float
+    started_at: float = 0.0
+    retired_at: float | None = None
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "target": self.target, "attention": self.attention,
                 "requests": self.requests, "batches": self.batches,
                 "busy_seconds": self.busy_seconds, "utilization": self.utilization,
-                "energy_joules": self.energy_joules}
+                "energy_joules": self.energy_joules,
+                "started_at": self.started_at, "retired_at": self.retired_at}
 
 
 @dataclass(frozen=True)
@@ -120,9 +203,14 @@ class ServeReport:
     per_model: tuple[tuple[str, LatencySummary], ...]
     per_replica: tuple[ReplicaReport, ...]
     cache: CacheStats
+    #: Provisioned capacity consumed: sum over replicas of their lifetime
+    #: (static fleet: replicas x makespan; autoscaling exists to shrink it).
+    replica_seconds: float = 0.0
+    scale_events: tuple[ScaleEvent, ...] = field(default_factory=tuple)
+    windows: tuple[WindowReport, ...] | None = None
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "config": self.config,
             "offered": self.offered,
             "completed": self.completed,
@@ -139,7 +227,12 @@ class ServeReport:
             "per_model": {model: summary.to_dict() for model, summary in self.per_model},
             "per_replica": [replica.to_dict() for replica in self.per_replica],
             "cache": self.cache.to_dict(),
+            "replica_seconds": self.replica_seconds,
+            "scale_events": [event.to_dict() for event in self.scale_events],
         }
+        if self.windows is not None:
+            payload["windows"] = [window.to_dict() for window in self.windows]
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -147,21 +240,69 @@ class ServeReport:
     def summary_row(self) -> dict[str, object]:
         """One flat row for markdown tables (CLI and experiment reports)."""
 
-        return {
+        row: dict[str, object] = {
             "requests": self.completed,
             "throughput_rps": self.throughput_rps,
             "p50_ms": self.latency.p50 * 1e3,
             "p95_ms": self.latency.p95 * 1e3,
             "p99_ms": self.latency.p99 * 1e3,
+        }
+        for label, value in self.latency.extras:
+            row[f"{label}_ms"] = value * 1e3
+        row.update({
             "mean_batch": self.mean_batch_size,
             "slo_violation_rate": self.slo_violation_rate,
             "energy_per_request_mj": self.energy_per_request_joules * 1e3,
-        }
+        })
+        return row
+
+
+def _build_windows(records: Sequence[RequestRecord], replicas, makespan: float,
+                   window_seconds: float) -> tuple[WindowReport, ...]:
+    """Slice the run into fixed-width windows (the last one may be partial)."""
+
+    count = max(1, math.ceil(makespan / window_seconds))
+    while (count - 1) * window_seconds >= makespan:
+        count -= 1                 # float drift: never emit a zero-width sliver
+
+    def bucket(time: float) -> int:
+        # A completion exactly at makespan belongs to the (partial) last
+        # window, not a nonexistent one past it.
+        return min(int(time / window_seconds), count - 1)
+
+    arrivals = [0] * count
+    latencies: list[list[float]] = [[] for _ in range(count)]
+    for record in records:         # one pass, not one scan per window
+        arrivals[bucket(record.arrival)] += 1
+        latencies[bucket(record.completion)].append(record.latency)
+
+    windows = []
+    for index in range(count):
+        # Boundaries multiply rather than accumulate: repeated float addition
+        # drifts below an exact multiple.
+        start = index * window_seconds
+        end = min(start + window_seconds, makespan)
+        width = end - start
+        overlap = sum(
+            max(0.0, min(replica.retired_at if replica.retired_at is not None
+                         else makespan, end) - max(replica.started_at, start))
+            for replica in replicas)
+        completed = latencies[index]
+        windows.append(WindowReport(
+            start=start, end=end, arrivals=arrivals[index],
+            completed=len(completed),
+            throughput_rps=len(completed) / width if width else 0.0,
+            p99=percentile(completed, 0.99) if completed else 0.0,
+            mean_active_replicas=overlap / width if width else 0.0))
+    return tuple(windows)
 
 
 def build_report(config: dict[str, object], records: Sequence[RequestRecord],
                  offered: int, duration: float, slo_seconds: float,
-                 replicas, cache_stats: CacheStats) -> ServeReport:
+                 replicas, cache_stats: CacheStats,
+                 percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                 scale_events: Sequence[ScaleEvent] = (),
+                 window_seconds: float | None = None) -> ServeReport:
     """Fold raw request records and replica accounting into a report."""
 
     latencies = [record.latency for record in records]
@@ -182,7 +323,8 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
             attention=replica.spec.attention, requests=replica.served,
             batches=replica.batches, busy_seconds=replica.busy_seconds,
             utilization=replica.busy_seconds / makespan,
-            energy_joules=replica.energy_joules)
+            energy_joules=replica.energy_joules,
+            started_at=replica.started_at, retired_at=replica.retired_at)
         for replica in replicas
     )
     return ServeReport(
@@ -192,8 +334,8 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
         duration=duration,
         makespan=makespan,
         throughput_rps=completed / makespan,
-        latency=LatencySummary.of(latencies),
-        queue_wait=LatencySummary.of(waits),
+        latency=LatencySummary.of(latencies, percentiles),
+        queue_wait=LatencySummary.of(waits, percentiles),
         mean_batch_size=completed / total_batches if total_batches else 0.0,
         slo_seconds=slo_seconds,
         slo_violation_rate=violations / completed if completed else 0.0,
@@ -204,4 +346,9 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
                                key=lambda entry: entry[0])),
         per_replica=per_replica,
         cache=cache_stats,
+        replica_seconds=sum(replica.lifetime_seconds(makespan)
+                            for replica in replicas),
+        scale_events=tuple(scale_events),
+        windows=(None if window_seconds is None
+                 else _build_windows(records, replicas, makespan, window_seconds)),
     )

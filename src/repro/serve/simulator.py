@@ -17,6 +17,15 @@ The event loop is a single heap of ``(time, sequence, kind, payload)``
 entries with a monotone tie-breaking sequence, and every random draw comes
 from the traffic pattern's seeded generator — so a (traffic, fleet, policy,
 router, duration, seed) tuple maps to one bit-exact :class:`ServeReport`.
+
+Fleets may be *dynamic*: pass an ``autoscaler`` (see
+:mod:`repro.plan.autoscaler`) and the loop adds periodic ``"scale"`` control
+events — the policy decides a desired replica count, scale-ups come online
+``provision_seconds`` later (a ``"provision"`` event), and scale-downs drain:
+the replica leaves the routing set at once but its queue keeps dispatching
+(with the policy's drain flush) until it empties, at which point it retires.
+Everything stays on the one event heap, so autoscaled runs are exactly as
+deterministic as static ones.
 """
 
 from __future__ import annotations
@@ -35,7 +44,12 @@ from repro.serve.cluster import (
     Router,
     make_router,
 )
-from repro.serve.metrics import RequestRecord, ServeReport, build_report
+from repro.serve.metrics import (
+    DEFAULT_PERCENTILES,
+    RequestRecord,
+    ServeReport,
+    build_report,
+)
 from repro.serve.traffic import TrafficPattern
 
 #: Default host-side cost of dispatching one batch to a replica (seconds).
@@ -53,7 +67,10 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
           *, duration: float, seed: int = 0,
           slo_seconds: float = DEFAULT_SLO,
           dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
-          cache: ResultCache | None = None) -> ServeReport:
+          cache: ResultCache | None = None,
+          autoscaler=None,
+          percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+          window_seconds: float | None = None) -> ServeReport:
     """Run one serving simulation and return its :class:`ServeReport`.
 
     ``fleet`` accepts a :class:`Fleet` or a spec string (``"2xvitality,1xgpu"``);
@@ -61,6 +78,14 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
     (``"fifo"`` / ``"size"`` / ``"timeout"``, ``"least-loaded"`` /
     ``"energy-aware"``).  A fresh LRU-bounded result cache is created unless
     one is passed in (pass one to share simulations across runs).
+
+    ``autoscaler`` (a :class:`repro.plan.Autoscaler`) makes the fleet dynamic
+    — its policy is consulted every ``interval`` seconds of simulated time and
+    may add replicas (online after ``provision_seconds``) or drain them; the
+    report then carries the scale events and per-replica lifetimes.
+    ``percentiles`` adds latency quantiles beyond p50/p95/p99 (``0.999`` for
+    p99.9); ``window_seconds`` adds per-window throughput/tail/replica-count
+    rows so scale events are visible over time.
     """
 
     if isinstance(fleet, str):
@@ -74,9 +99,10 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
                          f"got {dispatch_overhead_seconds}")
     if slo_seconds <= 0:
         raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+    if window_seconds is not None and window_seconds <= 0:
+        raise ValueError(f"window_seconds must be positive, got {window_seconds}")
     cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES) if cache is None else cache
-    for replica in fleet.replicas:
-        replica.reset()
+    fleet.reset()
 
     arrivals = traffic.arrivals(duration, seed)
     records: list[RequestRecord] = []
@@ -103,10 +129,18 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
     for request in arrivals:
         heapq.heappush(events, (request.arrival, next(sequence), "arrival", request))
     remaining = len(arrivals)
+    if autoscaler is not None:
+        autoscaler.begin(fleet)
+        if autoscaler.interval <= duration:
+            heapq.heappush(events, (autoscaler.interval, next(sequence), "scale", None))
 
     def dispatch(replica: Replica, now: float) -> None:
+        # A draining replica flushes like a run-end drain: it will never see
+        # another arrival, so holding out for a fuller batch only delays its
+        # retirement (and the requests already queued on it).
         while replica.idle(now) and replica.queue:
-            batch = policy.take(replica.queue, now, draining=(remaining == 0))
+            batch = policy.take(replica.queue, now,
+                                draining=(remaining == 0 or not replica.active))
             if batch is None:
                 deadline = policy.deadline(replica.queue)
                 if deadline is not None and deadline > now:
@@ -132,12 +166,16 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
                               batch_size=len(batch), dispatch=now, completion=finish)
                 for request in batch)
             heapq.heappush(events, (finish, next(sequence), "free", replica))
+        if (not replica.active and replica.retired_at is None
+                and not replica.queue and replica.idle(now)):
+            replica.retired_at = now
 
     while events:
         now, _, kind, payload = heapq.heappop(events)
         if kind == "arrival":
             remaining -= 1
-            replica = router.choose(fleet.replicas, payload.model, now, estimate)
+            candidates = fleet.active_replicas or fleet.replicas
+            replica = router.choose(candidates, payload.model, now, estimate)
             replica.queue.append(payload)
             replica.queued_seconds += estimate(payload.model, replica).latency_seconds
             dispatch(replica, now)
@@ -146,6 +184,18 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
                 # batches will never see another trigger, so flush everyone.
                 for other in fleet.replicas:
                     dispatch(other, now)
+        elif kind == "scale":
+            additions, drained = autoscaler.check(now, fleet)
+            for _ in range(additions):
+                heapq.heappush(events, (now + autoscaler.provision_seconds,
+                                        next(sequence), "provision", None))
+            for replica in drained:
+                dispatch(replica, now)           # flush or retire immediately
+            next_check = now + autoscaler.interval
+            if next_check <= duration:
+                heapq.heappush(events, (next_check, next(sequence), "scale", None))
+        elif kind == "provision":
+            autoscaler.provision(now, fleet)
         else:                                    # "free" and "poll" re-evaluate
             dispatch(payload, now)
 
@@ -159,10 +209,19 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         "slo_seconds": slo_seconds,
         "dispatch_overhead_seconds": dispatch_overhead_seconds,
     }
+    scale_events = ()
+    if autoscaler is not None:
+        config["autoscaler"] = autoscaler.to_dict()
+        scale_events = autoscaler.collect_events(fleet)
+    if tuple(percentiles) != DEFAULT_PERCENTILES:
+        config["percentiles"] = sorted(set(percentiles))
+    if window_seconds is not None:
+        config["window_seconds"] = window_seconds
     records.sort(key=lambda record: record.index)
     return build_report(config, records, offered=len(arrivals), duration=duration,
                         slo_seconds=slo_seconds, replicas=fleet.replicas,
-                        cache_stats=cache.stats())
+                        cache_stats=cache.stats(), percentiles=percentiles,
+                        scale_events=scale_events, window_seconds=window_seconds)
 
 
 def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
@@ -170,7 +229,8 @@ def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
             router: Router | str = "least-loaded", *, duration: float,
             seed: int = 0, slo_seconds: float = DEFAULT_SLO,
             dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
-            models: Sequence[str] | None = None) -> dict[str, ServeReport]:
+            models: Sequence[str] | None = None,
+            percentiles: Sequence[float] = DEFAULT_PERCENTILES) -> dict[str, ServeReport]:
     """Serve identical traffic on several fleets; one report per fleet.
 
     Every fleet sees the same arrival sequence (same traffic, duration and
@@ -188,5 +248,6 @@ def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
         reports[name] = serve(
             traffic, fleet, policy, router, duration=duration, seed=seed,
             slo_seconds=slo_seconds,
-            dispatch_overhead_seconds=dispatch_overhead_seconds, cache=cache)
+            dispatch_overhead_seconds=dispatch_overhead_seconds, cache=cache,
+            percentiles=percentiles)
     return reports

@@ -316,6 +316,125 @@ class TestServeBehavior:
             serve(traffic, "1xvitality", router="round-robin", duration=1.0)
 
 
+class TestServeEdgeCases:
+    """Corners the capacity search exercises: empty runs, hopeless SLOs,
+    replica drain with work in flight."""
+
+    def test_zero_arrival_run(self):
+        traffic = ReplayTraffic(())
+        report = serve(traffic, "2xvitality", duration=1.0, seed=0)
+        assert report.offered == report.completed == 0
+        assert report.throughput_rps == 0.0
+        assert report.slo_violation_rate == 0.0
+        assert report.energy_per_request_joules == 0.0
+        assert report.latency.count == 0 and report.latency.p99 == 0.0
+        assert report.makespan == 1.0
+        assert report.replica_seconds == pytest.approx(2.0)
+        json.loads(report.to_json())                 # still serialisable
+
+    def test_zero_arrivals_in_window(self):
+        """A trace with one early request leaves later windows empty."""
+
+        traffic = ReplayTraffic.from_records([[0.1, "deit-tiny"]])
+        report = serve(traffic, "1xvitality", duration=2.0, seed=0,
+                       window_seconds=0.5)
+        assert report.completed == 1
+        assert [window.completed for window in report.windows][1:] == [0, 0, 0]
+        assert sum(window.arrivals for window in report.windows) == 1
+
+    def test_fleet_that_never_meets_the_slo(self):
+        """An SLO below the bare service time: every request violates, yet
+        the run still completes and reports cleanly."""
+
+        traffic = PoissonTraffic(rate=50.0, mix=MIX)
+        report = serve(traffic, "1xvitality", policy="fifo", duration=1.0,
+                       seed=0, slo_seconds=1e-6)
+        assert report.completed == report.offered > 0
+        assert report.slo_violation_rate == 1.0
+        assert report.latency.p50 > report.slo_seconds
+
+    def test_overloaded_fleet_still_serves_everything(self):
+        traffic = PoissonTraffic(rate=4000.0, mix=MIX)
+        report = serve(traffic, "1xvitality", policy="fifo", duration=0.5,
+                       seed=0)
+        assert report.completed == report.offered
+        assert report.makespan > report.duration     # the drain tail
+        assert report.latency.max > report.queue_wait.p50 > 0
+
+    def test_replica_drain_with_in_flight_batches(self):
+        """Scale-down mid-run: the drained replica finishes its in-flight
+        batch, flushes its queue, retires — and loses no requests."""
+
+        from repro.plan import Autoscaler, ScheduledScalePolicy
+
+        scaler = Autoscaler(ScheduledScalePolicy(((0.2, 1),)), "vitality",
+                            min_replicas=1, max_replicas=2, interval=0.1,
+                            provision_seconds=0.1)
+        traffic = PoissonTraffic(rate=1500.0, mix=MIX)
+        report = serve(traffic, "2xvitality", policy="size", duration=1.0,
+                       seed=0, autoscaler=scaler)
+        assert report.completed == report.offered
+        retired = [replica for replica in report.per_replica
+                   if replica.retired_at is not None]
+        assert len(retired) == 1
+        drain_time = next(event.time for event in report.scale_events
+                          if event.action == "drain")
+        # The drained replica was mid-batch or queued at 1500 req/s, so its
+        # retirement strictly trails the drain decision.
+        assert retired[0].retired_at > drain_time
+        assert retired[0].requests > 0
+        # After retirement it serves nothing: every completion on it precedes
+        # (or coincides with) its retirement.
+        assert retired[0].busy_seconds <= retired[0].retired_at
+
+    def test_drained_replica_receives_no_new_requests(self):
+        from repro.plan import Autoscaler, ScheduledScalePolicy
+
+        scaler = Autoscaler(ScheduledScalePolicy(((0.5, 1),)), "vitality",
+                            min_replicas=1, max_replicas=2, interval=0.25,
+                            provision_seconds=0.1)
+        traffic = ReplayTraffic.from_records(
+            [[0.1, "deit-tiny"], [0.2, "deit-tiny"],
+             [0.8, "deit-tiny"], [0.9, "deit-tiny"]])
+        report = serve(traffic, "2xvitality", policy="fifo", duration=1.0,
+                       seed=0, autoscaler=scaler)
+        survivor = [replica for replica in report.per_replica
+                    if replica.retired_at is None]
+        # Both late arrivals land on the surviving replica.
+        assert sum(replica.requests for replica in survivor) >= 2
+        assert report.completed == 4
+
+
+class TestConfigurablePercentiles:
+    def test_default_json_shape_unchanged(self):
+        summary = serve(PoissonTraffic(rate=50.0, mix=MIX), "1xvitality",
+                        duration=0.5, seed=0).latency
+        assert set(summary.to_dict()) == \
+            {"count", "mean", "p50", "p95", "p99", "max"}
+
+    def test_extra_percentiles_ride_along(self):
+        report = serve(PoissonTraffic(rate=200.0, mix=MIX), "1xvitality",
+                       duration=1.0, seed=0,
+                       percentiles=(0.5, 0.95, 0.99, 0.999))
+        payload = json.loads(report.to_json())
+        assert "p99.9" in payload["latency"]
+        assert report.latency.quantile(0.999) >= report.latency.p99
+        assert report.latency.quantile(0.999) <= report.latency.max
+        assert "p99.9_ms" in report.summary_row()
+
+    def test_quantile_lookup_errors_on_missing(self):
+        report = serve(PoissonTraffic(rate=50.0, mix=MIX), "1xvitality",
+                       duration=0.5, seed=0)
+        assert report.latency.quantile(0.99) == report.latency.p99
+        with pytest.raises(KeyError, match="p99.9"):
+            report.latency.quantile(0.999)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            serve(PoissonTraffic(rate=50.0, mix=MIX), "1xvitality",
+                  duration=0.5, window_seconds=0.0)
+
+
 class TestMetrics:
     def test_percentile_nearest_rank(self):
         values = [10.0, 20.0, 30.0, 40.0, 50.0]
