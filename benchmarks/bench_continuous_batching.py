@@ -1,0 +1,37 @@
+"""LLM serving: continuous batching vs monolithic gangs, pool disaggregation.
+
+Not a paper artifact — the autoregressive-serving counterpart of the serving
+benchmarks: the same hardware models behind :func:`repro.serve.serve_llm`,
+measured as an LLM deployment would see them.  Asserts the two headline
+results (iteration-level batching sustains strictly more decode throughput
+than request-level gangs on the same fleet; the disaggregated split meets a
+TTFT+TPOT SLO pair the equal-area colocated fleet misses) and, with
+``--json DIR``, records the decode-throughput trajectory.
+"""
+
+from repro.experiments.llm_exps import continuous_vs_disaggregated
+
+
+def test_continuous_batching(benchmark, report, bench_json):
+    rows = benchmark(continuous_vs_disaggregated)
+    report("LLM serving — continuous batching and disaggregation", rows)
+    continuous = next(row for label, row in rows.items()
+                      if "continuous" in label)
+    monolithic = next(row for label, row in rows.items()
+                      if "monolithic" in label)
+    colocated = next(row for label, row in rows.items()
+                     if "colocated" in label)
+    disaggregated = next(row for label, row in rows.items()
+                         if "disaggregated" in label)
+    bench_json("continuous_batching", benchmark.stats.stats.mean,
+               continuous_tokens_per_second=
+                   continuous["decode_tokens_per_second"],
+               monolithic_tokens_per_second=
+                   monolithic["decode_tokens_per_second"],
+               disagg_tpot_p95_ms=disaggregated["tpot_p95_ms"])
+    assert (continuous["decode_tokens_per_second"]
+            > monolithic["decode_tokens_per_second"])
+    assert continuous["mean_decode_batch"] > monolithic["mean_decode_batch"]
+    assert disaggregated["meets_slo_pair"]
+    assert not colocated["meets_slo_pair"]
+    assert disaggregated["tpot_p95_ms"] < colocated["tpot_p95_ms"]

@@ -24,6 +24,13 @@ Usage examples::
                           --policy fifo --autoscale utilization --scale-max 3
     python -m repro plan --rate 1200 --slo-ms 20 \
                          --targets "vitality,vitality[pe=32x32]"   # fleet search
+    python -m repro serve --llm --models decoder --rate 20 --duration 4 \
+                          --fleet 2xvitality                # continuous batching
+    python -m repro serve --llm --models decoder --rate 20 --duration 4 \
+                          --prefill-fleet 2xvitality --decode-fleet 1xvitality \
+                          --prompt-tokens 256:1024          # disaggregated pools
+    python -m repro plan --llm --models decoder --rate 15 --duration 4 \
+                         --ttft-slo-ms 100 --tpot-slo-ms 8  # size both pools
 """
 
 from __future__ import annotations
@@ -48,17 +55,22 @@ from repro.experiments.dse_exps import explore_design_space
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
-from repro.plan import SCALE_POLICIES, Autoscaler, plan_capacity
+from repro.plan import SCALE_POLICIES, Autoscaler, plan_capacity, plan_llm_capacity
 from repro.serve import (
     BATCH_POLICIES,
     DEFAULT_PERCENTILES,
     Fleet,
+    KVCacheConfig,
     ROUTERS,
+    SCHEDULERS,
     TRAFFIC_PATTERNS,
+    TokenDistribution,
+    TokenProfile,
     make_policy,
     make_router,
     make_traffic,
     serve,
+    serve_llm,
 )
 from repro.workloads import (
     FAMILIES,
@@ -177,8 +189,9 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--timeout-ms", type=float, default=2.0,
                      help="batching window for the timeout policy")
     srv.add_argument("--router", default="least-loaded", choices=ROUTERS)
-    srv.add_argument("--slo-ms", type=float, default=50.0,
-                     help="per-request latency SLO")
+    srv.add_argument("--slo-ms", type=float,
+                     help="per-request end-to-end latency SLO "
+                          "(default: 50, or 1000 under --llm)")
     srv.add_argument("--overhead-ms", type=float, default=0.5,
                      help="host-side dispatch overhead per batch")
     srv.add_argument("--percentiles", default="50,95,99",
@@ -202,6 +215,38 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="delay before a scaled-up replica comes online")
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--json", action="store_true")
+    llm = srv.add_argument_group(
+        "llm serving", "autoregressive serving: continuous batching, chunked "
+                       "prefill, KV-cache admission, disaggregated pools")
+    llm.add_argument("--llm", action="store_true",
+                     help="serve autoregressively via the LLM simulator "
+                          "(--policy/--router/--autoscale do not apply)")
+    llm.add_argument("--scheduler", default="continuous", choices=SCHEDULERS,
+                     help="iteration-level (continuous) or request-level "
+                          "gang (monolithic) batching")
+    llm.add_argument("--prefill-fleet",
+                     help="dedicated prefill pool, e.g. 3xvitality "
+                          "(with --decode-fleet; replaces --fleet)")
+    llm.add_argument("--decode-fleet",
+                     help="dedicated decode pool, e.g. 1xvitality")
+    llm.add_argument("--prompt-tokens", default=None,
+                     help="prompt length per request: fixed ('512') or a "
+                          "seeded uniform range ('256:1024')")
+    llm.add_argument("--output-tokens", default=None,
+                     help="generated tokens per request: fixed or a range")
+    llm.add_argument("--prefill-chunk", type=int, default=256,
+                     help="prompt tokens per prefill engine call")
+    llm.add_argument("--kv-capacity", type=int,
+                     help="override per-replica KV capacity in tokens "
+                          "(default: derived from the target's SRAM)")
+    llm.add_argument("--step-overhead-ms", type=float, default=0.2,
+                     help="host overhead per prefill chunk / decode step")
+    llm.add_argument("--handoff-ms", type=float, default=2.0,
+                     help="prefill-to-decode KV transfer delay")
+    llm.add_argument("--ttft-slo-ms", type=float, default=200.0,
+                     help="time-to-first-token SLO")
+    llm.add_argument("--tpot-slo-ms", type=float, default=10.0,
+                     help="time-per-output-token SLO")
 
     plan = subparsers.add_parser(
         "plan", help="SLO-driven capacity planning: search candidate fleets, "
@@ -237,6 +282,29 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="host-side dispatch overhead per batch")
     plan.add_argument("--seed", type=int, default=0)
     plan.add_argument("--json", action="store_true")
+    plan_llm = plan.add_argument_group(
+        "llm planning", "size disaggregated prefill/decode pools against a "
+                        "TTFT+TPOT SLO pair (first --models entry, first "
+                        "--targets kind)")
+    plan_llm.add_argument("--llm", action="store_true",
+                          help="plan disaggregated LLM pools instead of a "
+                               "classic fleet (--slo-ms/--policy do not apply)")
+    plan_llm.add_argument("--ttft-slo-ms", type=float, default=200.0,
+                          help="time-to-first-token SLO the pools must meet")
+    plan_llm.add_argument("--tpot-slo-ms", type=float, default=10.0,
+                          help="time-per-output-token SLO")
+    plan_llm.add_argument("--prompt-tokens", type=int, default=512,
+                          help="prompt length per request")
+    plan_llm.add_argument("--output-tokens", type=int, default=64,
+                          help="generated tokens per request")
+    plan_llm.add_argument("--prefill-chunk", type=int, default=256,
+                          help="prompt tokens per prefill engine call")
+    plan_llm.add_argument("--kv-capacity", type=int,
+                          help="override per-replica KV capacity in tokens")
+    plan_llm.add_argument("--step-overhead-ms", type=float, default=0.2,
+                          help="host overhead per prefill chunk / decode step")
+    plan_llm.add_argument("--handoff-ms", type=float, default=2.0,
+                          help="prefill-to-decode KV transfer delay")
 
     accelerate = subparsers.add_parser("accelerate",
                                        help="run the accelerator comparison for one model")
@@ -470,6 +538,62 @@ def _peak_concurrent_replicas(report) -> int:
         for replica in replicas)
 
 
+def _command_serve_llm(arguments: argparse.Namespace, traffic,
+                       percentiles) -> int:
+    """The ``serve --llm`` leg: route into the autoregressive simulator."""
+
+    disaggregated = arguments.prefill_fleet or arguments.decode_fleet
+    try:
+        prompt = TokenDistribution.parse(arguments.prompt_tokens or 512)
+        output = TokenDistribution.parse(arguments.output_tokens or 64)
+        kv = KVCacheConfig(capacity_tokens=arguments.kv_capacity)
+        report = serve_llm(
+            traffic,
+            fleet=None if disaggregated else arguments.fleet,
+            prefill_fleet=arguments.prefill_fleet or None,
+            decode_fleet=arguments.decode_fleet or None,
+            scheduler=arguments.scheduler,
+            duration=arguments.duration, seed=arguments.seed,
+            prompt_tokens=round(prompt.mean), output_tokens=round(output.mean),
+            prefill_chunk=arguments.prefill_chunk, max_batch=arguments.batch,
+            kv=kv, step_overhead_seconds=arguments.step_overhead_ms * 1e-3,
+            handoff_seconds=arguments.handoff_ms * 1e-3,
+            ttft_slo_seconds=arguments.ttft_slo_ms * 1e-3,
+            tpot_slo_seconds=arguments.tpot_slo_ms * 1e-3,
+            slo_seconds=(arguments.slo_ms or 1000.0) * 1e-3,
+            percentiles=percentiles)
+    except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
+            TypeError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(report.to_json())
+        return 0
+    fleets = (f"{arguments.prefill_fleet} + {arguments.decode_fleet}"
+              if disaggregated else arguments.fleet)
+    summary = {"fleet": fleets, "scheduler": arguments.scheduler,
+               **report.summary_row()}
+    # The classic mean_batch counts requests per engine dispatch, which is
+    # meaningless when a request spans many decode steps; show the decode
+    # batch the scheduler actually sustained.
+    summary["mean_batch"] = round(report.llm["mean_decode_batch"], 4)
+    print(markdown_table([summary]))
+    print()
+    print(markdown_table([replica.to_dict() for replica in report.per_replica],
+                         ["name", "role", "requests", "utilization",
+                          "kv_capacity_tokens", "kv_peak_tokens",
+                          "decode_steps"]))
+    llm = report.llm
+    print(f"\n{report.completed}/{report.offered} requests served — "
+          f"{llm['generated_tokens']} tokens decoded in "
+          f"{llm['decode_steps']} steps (mean batch "
+          f"{llm['mean_decode_batch']:.2f}, "
+          f"{llm['decode_tokens_per_second']:.1f} tok/s); "
+          f"TTFT attainment {llm['ttft_attainment']:.1%}, "
+          f"TPOT attainment {llm['tpot_attainment']:.1%}")
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     models = split_configured_names(arguments.models)
     weights: tuple[float, ...] | None = None
@@ -488,10 +612,20 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                 trace = json.load(handle)
         except (OSError, json.JSONDecodeError) as error:
             return _fail(f"cannot read trace {arguments.trace!r}: {error}")
+    tokens = None
+    if arguments.llm and (arguments.prompt_tokens or arguments.output_tokens):
+        try:
+            tokens = TokenProfile.of(prompt=arguments.prompt_tokens or 512,
+                                     output=arguments.output_tokens or 64)
+        except ValueError as error:
+            return _fail(str(error.args[0] if error.args else error))
     try:
         percentiles = _parse_percentiles(arguments.percentiles)
         traffic = make_traffic(arguments.traffic, arguments.rate, models,
-                               weights, period=arguments.period, trace=trace)
+                               weights, period=arguments.period, trace=trace,
+                               tokens=tokens)
+        if arguments.llm:
+            return _command_serve_llm(arguments, traffic, percentiles)
         autoscaler = None
         if arguments.autoscale:
             unit = arguments.scale_unit or \
@@ -508,7 +642,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                         timeout=arguments.timeout_ms * 1e-3),
             make_router(arguments.router),
             duration=arguments.duration, seed=arguments.seed,
-            slo_seconds=arguments.slo_ms * 1e-3,
+            slo_seconds=(50.0 if arguments.slo_ms is None
+                         else arguments.slo_ms) * 1e-3,
             dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
             autoscaler=autoscaler, percentiles=percentiles,
             window_seconds=(None if arguments.window_ms is None
@@ -547,11 +682,78 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_plan_llm(arguments: argparse.Namespace, model: str,
+                      target: str) -> int:
+    """The ``plan --llm`` leg: size disaggregated prefill/decode pools."""
+
+    try:
+        payload = plan_llm_capacity(
+            arguments.rate, model,
+            ttft_slo_seconds=arguments.ttft_slo_ms * 1e-3,
+            tpot_slo_seconds=arguments.tpot_slo_ms * 1e-3,
+            duration=arguments.duration,
+            slo_percentile=arguments.percentile / 100.0, target=target,
+            prompt_tokens=arguments.prompt_tokens,
+            output_tokens=arguments.output_tokens,
+            prefill_chunk=arguments.prefill_chunk, max_batch=arguments.batch,
+            kv=KVCacheConfig(capacity_tokens=arguments.kv_capacity),
+            step_overhead_seconds=arguments.step_overhead_ms * 1e-3,
+            handoff_seconds=arguments.handoff_ms * 1e-3,
+            max_replicas=arguments.max_replicas, top_k=arguments.top_k,
+            seed=arguments.seed, cache=_make_cache(arguments))
+    except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
+            TypeError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    label = f"p{arguments.percentile:g}"
+    print(markdown_table(
+        [{key: candidate[key] for key in
+          ("prefill_fleet", "decode_fleet", f"predicted_ttft_{label}_ms",
+           "predicted_tpot_ms", "area_mm2", "predicted_feasible")}
+         for candidate in payload["candidates"]]))
+    if payload["validated"]:
+        print()
+        print(markdown_table(
+            [{key: candidate[key] for key in
+              ("prefill_fleet", "decode_fleet", f"ttft_{label}_ms",
+               f"tpot_{label}_ms", "decode_tokens_per_second",
+               "slo_attained")}
+             for candidate in payload["validated"]]))
+    chosen = payload["chosen"]
+    if chosen is None:
+        print(f"\nno split met TTFT {label} <= {arguments.ttft_slo_ms:g}ms "
+              f"and TPOT {label} <= {arguments.tpot_slo_ms:g}ms at "
+              f"{arguments.rate:g} req/s — raise --max-replicas")
+    else:
+        print(f"\nchosen: {chosen['prefill_fleet']} prefill + "
+              f"{chosen['decode_fleet']} decode — TTFT {label} "
+              f"{chosen[f'ttft_{label}_ms']:.2f}ms, TPOT {label} "
+              f"{chosen[f'tpot_{label}_ms']:.2f}ms")
+        reference = payload["colocated_reference"]
+        if reference is not None:
+            verdict = "meets" if reference["slo_attained"] else "misses"
+            print(f"colocated reference: {reference['fleet']} {verdict} the "
+                  f"SLO pair (TTFT {reference[f'ttft_{label}_ms']:.2f}ms, "
+                  f"TPOT {reference[f'tpot_{label}_ms']:.2f}ms)")
+    print(f"\n{len(payload['validated'])} of {payload['evaluated']} splits "
+          f"validated in simulation")
+    return 0
+
+
 def _command_plan(arguments: argparse.Namespace) -> int:
     models = split_configured_names(arguments.models)
     targets = split_configured_names(arguments.targets)
     if not targets:
         return _fail("no candidate targets given")
+    if not models:
+        return _fail("no workloads given")
+    if not 0 < arguments.percentile < 100:
+        return _fail(f"--percentile must be in (0, 100), got {arguments.percentile}")
+    if arguments.llm:
+        return _command_plan_llm(arguments, models[0], targets[0])
     weights: tuple[float, ...] | None = None
     if arguments.weights:
         try:
@@ -559,8 +761,6 @@ def _command_plan(arguments: argparse.Namespace) -> int:
         except ValueError:
             return _fail(f"--weights must be comma-separated numbers, "
                          f"got {arguments.weights!r}")
-    if not 0 < arguments.percentile < 100:
-        return _fail(f"--percentile must be in (0, 100), got {arguments.percentile}")
     try:
         payload = plan_capacity(
             arguments.rate, models, weights=weights,

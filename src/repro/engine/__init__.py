@@ -52,6 +52,7 @@ from repro.engine.targets import (
     register_target,
     split_configured_names,
     target_area_mm2,
+    target_sram_kb,
 )
 from repro.workloads import UnknownWorkloadError, canonical_workload_name
 
@@ -87,4 +88,5 @@ __all__ = [
     "split_configured_names",
     "sweep",
     "target_area_mm2",
+    "target_sram_kb",
 ]

@@ -516,6 +516,23 @@ def target_area_mm2(name: str) -> float | None:
     return getattr(get_target(name), "area_mm2", None)
 
 
+def target_sram_kb(name: str) -> float | None:
+    """On-chip SRAM capacity (KB) of one target's design point.
+
+    Accelerator targets read it from their configured memory model (the
+    ``sram_kb`` knob); the analytic platform models (CPU/GPU/edge) have no
+    SRAM model and return ``None`` — consumers (the serving layer's KV-cache
+    sizing) substitute their own platform default rather than fake one here.
+    """
+
+    target = get_target(name)
+    for attr in ("_config", "_budget"):
+        memory = getattr(getattr(target, attr, None), "memory", None)
+        if memory is not None:
+            return memory.sram_kb
+    return None
+
+
 register_target(VitalityTarget("vitality"))
 register_target(VitalityTarget("vitality-gstationary", dataflow=Dataflow.G_STATIONARY))
 register_target(VitalityTarget("vitality-unpipelined", pipelined=False))

@@ -10,6 +10,7 @@ from repro.experiments import (
     complexity,
     dse_exps,
     hardware_exps,
+    llm_exps,
     plan_exps,
     profiling_exps,
     seqscale_exps,
@@ -86,6 +87,8 @@ _register("capacity", "SLO-driven capacity planning: cheapest fleet meeting p99"
           "beyond the paper", plan_exps.capacity_planning)
 _register("autoscale", "Autoscaling vs a peak-sized static fleet (diurnal load)",
           "beyond the paper", plan_exps.autoscale_study)
+_register("disagg", "Continuous batching and prefill/decode disaggregation",
+          "beyond the paper", llm_exps.continuous_vs_disaggregated)
 
 
 def list_experiments() -> list[str]:

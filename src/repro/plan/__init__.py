@@ -12,7 +12,10 @@ pattern, this package closes the operator's loop:
 * :mod:`optimizer` — :func:`plan_capacity`, the SLO-driven fleet search:
   enumerate candidate fleets, prune with the analytic model, validate the
   survivors in simulation, report the chosen fleet and the cost-vs-SLO
-  Pareto frontier.
+  Pareto frontier; and :func:`plan_llm_capacity`, the same search over
+  disaggregated prefill/decode pool splits against a TTFT+TPOT SLO pair
+  (analytic pools via :func:`estimate_llm_pools`, validation via
+  :func:`repro.serve.serve_llm`).
 
 Typical use::
 
@@ -41,16 +44,19 @@ from repro.plan.autoscaler import (
     UtilizationScalePolicy,
     make_scale_policy,
 )
-from repro.plan.optimizer import pareto_frontier, plan_capacity
+from repro.plan.optimizer import pareto_frontier, plan_capacity, plan_llm_capacity
 from repro.plan.queueing import (
+    LLMPoolEstimate,
     QueueingEstimate,
     ServiceTimes,
     erlang_c,
     estimate_fleet,
+    estimate_llm_pools,
 )
 
 __all__ = [
     "Autoscaler",
+    "LLMPoolEstimate",
     "QueueDepthScalePolicy",
     "QueueingEstimate",
     "SCALE_POLICIES",
@@ -61,7 +67,9 @@ __all__ = [
     "UtilizationScalePolicy",
     "erlang_c",
     "estimate_fleet",
+    "estimate_llm_pools",
     "make_scale_policy",
     "pareto_frontier",
     "plan_capacity",
+    "plan_llm_capacity",
 ]

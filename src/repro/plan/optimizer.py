@@ -26,12 +26,22 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.engine import target_area_mm2
+from repro.engine import ResultCache, target_area_mm2
 from repro.serve.cluster import Fleet, ReplicaSpec
+from repro.serve.llm import (
+    DEFAULT_HANDOFF_SECONDS,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_OUTPUT_TOKENS,
+    DEFAULT_PREFILL_CHUNK,
+    DEFAULT_PROMPT_TOKENS,
+    DEFAULT_STEP_OVERHEAD,
+    KVCacheConfig,
+    serve_llm,
+)
 from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
 from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD, serve
 from repro.serve.traffic import PoissonTraffic, TrafficPattern, WorkloadMix
-from repro.plan.queueing import ServiceTimes, estimate_fleet
+from repro.plan.queueing import ServiceTimes, estimate_fleet, estimate_llm_pools
 
 
 def pareto_frontier(points: Sequence[dict], keys: Sequence[str]) -> list[dict]:
@@ -218,4 +228,179 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
         "boundary": boundary,
         "pareto_frontier": frontier,
         "cache": service_times.cache.stats().to_dict(),
+    }
+
+
+def plan_llm_capacity(rate: float, model: str, *,
+                      ttft_slo_seconds: float, tpot_slo_seconds: float,
+                      duration: float, slo_percentile: float = 0.95,
+                      target: str = "vitality",
+                      prompt_tokens: int = DEFAULT_PROMPT_TOKENS,
+                      output_tokens: int = DEFAULT_OUTPUT_TOKENS,
+                      prefill_chunk: int = DEFAULT_PREFILL_CHUNK,
+                      max_batch: int = DEFAULT_MAX_BATCH,
+                      kv: KVCacheConfig | None = None,
+                      step_overhead_seconds: float = DEFAULT_STEP_OVERHEAD,
+                      handoff_seconds: float = DEFAULT_HANDOFF_SECONDS,
+                      max_replicas: int = 8, top_k: int = 3,
+                      traffic: TrafficPattern | None = None,
+                      seed: int = 0, margin: float = 1.25,
+                      cache: ResultCache | None = None) -> dict[str, object]:
+    """Size a disaggregated LLM deployment against a TTFT+TPOT SLO pair.
+
+    Enumerates every ``(prefill, decode)`` replica split of a single
+    ``target`` kind with ``prefill + decode <= max_replicas``, prunes with
+    the analytic pool model (:func:`estimate_llm_pools` — stability plus
+    both predicted phase percentiles within ``margin * slo``), validates the
+    ``top_k`` cheapest survivors through :func:`repro.serve.serve_llm`, and
+    picks the cheapest split whose *measured* TTFT and TPOT percentiles meet
+    their SLOs.  The payload also carries a ``colocated_reference``: the
+    chosen split's total replica count run as one colocated continuous
+    fleet, so the disaggregation benefit is visible in the same units.
+    Deterministic for fixed arguments.
+    """
+
+    if min(ttft_slo_seconds, tpot_slo_seconds) <= 0:
+        raise ValueError("TTFT and TPOT SLOs must be positive")
+    if max_replicas < 2:
+        raise ValueError(f"max_replicas must be >= 2 (one replica per pool), "
+                         f"got {max_replicas}")
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    kv = KVCacheConfig() if kv is None else kv
+    cache = ResultCache() if cache is None else cache
+    if traffic is None:
+        traffic = PoissonTraffic(rate=rate, mix=WorkloadMix.of([model]))
+    label = percentile_label(slo_percentile)
+    percentiles = tuple(sorted(set(DEFAULT_PERCENTILES) | {slo_percentile}))
+    area = target_area_mm2(ReplicaSpec.parse(target).target)
+
+    candidates = []
+    for prefill in range(1, max_replicas):
+        for decode in range(1, max_replicas + 1 - prefill):
+            estimate = estimate_llm_pools(
+                f"{prefill}x{target}", f"{decode}x{target}", rate, model,
+                prompt_tokens=prompt_tokens, output_tokens=output_tokens,
+                prefill_chunk=prefill_chunk, max_batch=max_batch, kv=kv,
+                step_overhead_seconds=step_overhead_seconds,
+                percentiles=(slo_percentile,), cache=cache)
+            ttft = estimate.predicted_ttft(slo_percentile)
+            tpot = estimate.tpot_seconds
+            feasible = (estimate.stable
+                        and ttft is not None
+                        and ttft <= ttft_slo_seconds * margin
+                        and tpot is not None
+                        and tpot <= tpot_slo_seconds * margin)
+            candidates.append({
+                "prefill_replicas": prefill,
+                "decode_replicas": decode,
+                "replicas": prefill + decode,
+                "prefill_fleet": f"{prefill}x{target}",
+                "decode_fleet": f"{decode}x{target}",
+                "area_mm2": None if area is None
+                            else area * (prefill + decode),
+                f"predicted_ttft_{label}_ms":
+                    None if ttft is None else ttft * 1e3,
+                "predicted_tpot_ms": None if tpot is None else tpot * 1e3,
+                "predicted_feasible": feasible,
+                "analytic": estimate.to_dict(),
+            })
+
+    def cost(candidate: dict) -> tuple:
+        return (candidate["replicas"],
+                candidate["area_mm2"] if candidate["area_mm2"] is not None
+                else float("inf"),
+                candidate["decode_replicas"])
+
+    shortlist = sorted((candidate for candidate in candidates
+                        if candidate["predicted_feasible"]), key=cost)[:top_k]
+
+    def measure(report) -> dict[str, object]:
+        return {
+            f"ttft_{label}_ms": report.ttft.quantile(slo_percentile) * 1e3,
+            f"tpot_{label}_ms": report.tpot.quantile(slo_percentile) * 1e3,
+            "ttft_attainment": report.llm["ttft_attainment"],
+            "tpot_attainment": report.llm["tpot_attainment"],
+            "slo_attainment": report.llm["slo_attainment"],
+            "decode_tokens_per_second":
+                report.llm["decode_tokens_per_second"],
+            "throughput_rps": report.throughput_rps,
+            "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+        }
+
+    validated = []
+    for candidate in shortlist:
+        report = serve_llm(
+            traffic, prefill_fleet=candidate["prefill_fleet"],
+            decode_fleet=candidate["decode_fleet"], duration=duration,
+            seed=seed, prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens, prefill_chunk=prefill_chunk,
+            max_batch=max_batch, kv=kv,
+            step_overhead_seconds=step_overhead_seconds,
+            handoff_seconds=handoff_seconds,
+            ttft_slo_seconds=ttft_slo_seconds,
+            tpot_slo_seconds=tpot_slo_seconds,
+            percentiles=percentiles, cache=cache)
+        measured = measure(report)
+        attained = (measured[f"ttft_{label}_ms"] <= ttft_slo_seconds * 1e3
+                    and measured[f"tpot_{label}_ms"] <= tpot_slo_seconds * 1e3)
+        validated.append({
+            "prefill_fleet": candidate["prefill_fleet"],
+            "decode_fleet": candidate["decode_fleet"],
+            "replicas": candidate["replicas"],
+            "prefill_replicas": candidate["prefill_replicas"],
+            "decode_replicas": candidate["decode_replicas"],
+            "area_mm2": candidate["area_mm2"],
+            f"predicted_ttft_{label}_ms":
+                candidate[f"predicted_ttft_{label}_ms"],
+            "predicted_tpot_ms": candidate["predicted_tpot_ms"],
+            "slo_attained": attained,
+            **measured,
+        })
+
+    attained = [candidate for candidate in validated
+                if candidate["slo_attained"]]
+    chosen = min(attained, key=cost) if attained else None
+
+    colocated_reference = None
+    if chosen is not None:
+        report = serve_llm(
+            traffic, fleet=f"{chosen['replicas']}x{target}",
+            duration=duration, seed=seed, prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens, prefill_chunk=prefill_chunk,
+            max_batch=max_batch, kv=kv,
+            step_overhead_seconds=step_overhead_seconds,
+            ttft_slo_seconds=ttft_slo_seconds,
+            tpot_slo_seconds=tpot_slo_seconds,
+            percentiles=percentiles, cache=cache)
+        measured = measure(report)
+        colocated_reference = {
+            "fleet": f"{chosen['replicas']}x{target}",
+            "slo_attained":
+                measured[f"ttft_{label}_ms"] <= ttft_slo_seconds * 1e3
+                and measured[f"tpot_{label}_ms"] <= tpot_slo_seconds * 1e3,
+            **measured,
+        }
+
+    return {
+        "config": {
+            "rate": rate, "model": model,
+            "ttft_slo_seconds": ttft_slo_seconds,
+            "tpot_slo_seconds": tpot_slo_seconds,
+            "slo_percentile": slo_percentile, "target": target,
+            "prompt_tokens": prompt_tokens, "output_tokens": output_tokens,
+            "prefill_chunk": prefill_chunk, "max_batch": max_batch,
+            "kv": kv.to_dict(),
+            "step_overhead_seconds": step_overhead_seconds,
+            "handoff_seconds": handoff_seconds,
+            "max_replicas": max_replicas, "top_k": top_k,
+            "duration": duration, "seed": seed, "margin": margin,
+            "traffic": traffic.to_dict(),
+        },
+        "evaluated": len(candidates),
+        "candidates": candidates,
+        "validated": validated,
+        "chosen": chosen,
+        "colocated_reference": colocated_reference,
+        "cache": cache.stats().to_dict(),
     }

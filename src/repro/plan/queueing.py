@@ -31,9 +31,22 @@ from typing import Sequence
 from repro.engine import ResultCache, RunSpec, simulate
 from repro.serve.batching import BatchPolicy
 from repro.serve.cluster import Fleet, ReplicaSpec
+from repro.serve.llm import (
+    DEFAULT_HANDOFF_SECONDS,
+    DEFAULT_KV_BUCKET,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_OUTPUT_TOKENS,
+    DEFAULT_PREFILL_CHUNK,
+    DEFAULT_PROMPT_TOKENS,
+    DEFAULT_STEP_OVERHEAD,
+    KVCacheConfig,
+    _bucket,
+    _configured,
+)
 from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
 from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD
 from repro.serve.traffic import WorkloadMix
+from repro.workloads import get_workload
 
 
 def erlang_c(servers: int, offered_erlangs: float) -> float:
@@ -318,4 +331,216 @@ def estimate_fleet(fleet: Fleet | str, rate: float,
         mean_latency_seconds=mean_latency,
         latency=latency,
         energy_per_request_joules=energy,
+    )
+
+
+@dataclass(frozen=True)
+class LLMPoolEstimate:
+    """Analytic prediction for a disaggregated prefill/decode deployment.
+
+    The prefill pool is an M/M/c queue whose service time is one full
+    chunked prompt; its wait quantiles plus the prefill service give the
+    ``ttft`` predictions.  The decode pool is a batch fixed point: the
+    concurrency ``rate * decode_steps * tpot`` spreads over the replicas,
+    bounded per replica by ``max_batch`` and by how many reservations fit in
+    KV; ``tpot`` is one decode step at that batch size.  For an unstable
+    pool the corresponding predictions are ``None``.
+    """
+
+    prefill_fleet: str
+    decode_fleet: str
+    rate_rps: float
+    prompt_tokens: int
+    output_tokens: int
+    prefill_service_seconds: float
+    prefill_utilization: float
+    prefill_stable: bool
+    ttft_mean_seconds: float | None
+    ttft: tuple[tuple[str, float | None], ...]
+    decode_batch: int
+    decode_concurrency_cap: int
+    decode_step_seconds: float
+    tpot_seconds: float | None
+    decode_utilization: float
+    decode_stable: bool
+    decode_ceiling_tokens_per_second: float
+
+    @property
+    def stable(self) -> bool:
+        return self.prefill_stable and self.decode_stable
+
+    def predicted_ttft(self, fraction: float) -> float | None:
+        """The predicted TTFT at one percentile fraction (``0.95``)."""
+
+        label = percentile_label(fraction)
+        for key, value in self.ttft:
+            if key == label:
+                return value
+        raise KeyError(f"percentile {label} was not estimated; "
+                       f"request it via the percentiles knob")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "prefill_fleet": self.prefill_fleet,
+            "decode_fleet": self.decode_fleet,
+            "rate_rps": self.rate_rps,
+            "prompt_tokens": self.prompt_tokens,
+            "output_tokens": self.output_tokens,
+            "prefill_service_seconds": self.prefill_service_seconds,
+            "prefill_utilization": self.prefill_utilization,
+            "prefill_stable": self.prefill_stable,
+            "ttft_mean_seconds": self.ttft_mean_seconds,
+            "ttft": dict(self.ttft),
+            "decode_batch": self.decode_batch,
+            "decode_concurrency_cap": self.decode_concurrency_cap,
+            "decode_step_seconds": self.decode_step_seconds,
+            "tpot_seconds": self.tpot_seconds,
+            "decode_utilization": self.decode_utilization,
+            "decode_stable": self.decode_stable,
+            "decode_ceiling_tokens_per_second":
+                self.decode_ceiling_tokens_per_second,
+            "stable": self.stable,
+        }
+
+
+def estimate_llm_pools(prefill_fleet: Fleet | str, decode_fleet: Fleet | str,
+                       rate: float, model: str, *,
+                       prompt_tokens: int = DEFAULT_PROMPT_TOKENS,
+                       output_tokens: int = DEFAULT_OUTPUT_TOKENS,
+                       prefill_chunk: int = DEFAULT_PREFILL_CHUNK,
+                       max_batch: int = DEFAULT_MAX_BATCH,
+                       kv: KVCacheConfig | None = None,
+                       step_overhead_seconds: float = DEFAULT_STEP_OVERHEAD,
+                       kv_bucket: int = DEFAULT_KV_BUCKET,
+                       percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                       cache: ResultCache | None = None) -> LLMPoolEstimate:
+    """Size both pools of a disaggregated LLM deployment analytically.
+
+    Service times come from the same engine lowering :func:`serve_llm` uses
+    (chunked ``phase=prefill`` runs, bucketed ``phase=decode`` steps), so the
+    estimate and the simulator price identical shapes — the planner prunes
+    with this and validates survivors through the event loop.
+    """
+
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if prompt_tokens < 1 or output_tokens < 1:
+        raise ValueError("prompt_tokens and output_tokens must be >= 1")
+    prefill_fleet = Fleet.parse(prefill_fleet) \
+        if isinstance(prefill_fleet, str) else prefill_fleet
+    decode_fleet = Fleet.parse(decode_fleet) \
+        if isinstance(decode_fleet, str) else decode_fleet
+    kv = KVCacheConfig() if kv is None else kv
+    cache = ResultCache() if cache is None else cache
+    bytes_per_token = kv.bytes_per_token(get_workload(model))
+
+    def run_seconds(name: str, spec: ReplicaSpec, batch: int = 1) -> float:
+        result = simulate(RunSpec(name, target=spec.target,
+                                  attention=spec.attention, batch_size=batch),
+                          cache=cache)
+        return step_overhead_seconds + result.end_to_end_latency
+
+    # --- prefill pool: M/M/c on the full chunked-prompt service time -------
+    prefill_specs = [replica.spec for replica in prefill_fleet.replicas]
+    servers_p = len(prefill_specs)
+
+    def prefill_seconds(spec: ReplicaSpec) -> float:
+        total, progress = 0.0, 0
+        while progress < prompt_tokens:
+            chunk = min(prefill_chunk, prompt_tokens - progress)
+            name = _configured(model, tokens=chunk, kv_tokens=progress + chunk,
+                               phase="prefill")
+            total += run_seconds(name, spec)
+            progress += chunk
+        return total
+
+    prefill_service = sum(prefill_seconds(spec)
+                          for spec in prefill_specs) / servers_p
+    offered_p = rate * prefill_service
+    utilization_p = offered_p / servers_p
+    stable_p = utilization_p < 1.0
+    fractions = sorted(set(percentiles))
+    if stable_p:
+        wait_probability = erlang_c(servers_p, offered_p)
+        drain = servers_p / prefill_service - rate
+        ttft_mean = wait_probability / drain + prefill_service
+
+        def wait_quantile(fraction: float) -> float:
+            if fraction <= 1.0 - wait_probability:
+                return 0.0
+            return -math.log((1.0 - fraction) / wait_probability) / drain
+
+        ttft = tuple((percentile_label(fraction),
+                      wait_quantile(fraction) + prefill_service)
+                     for fraction in fractions)
+    else:
+        ttft_mean = None
+        ttft = tuple((percentile_label(fraction), None)
+                     for fraction in fractions)
+
+    # --- decode pool: batch fixed point under the KV concurrency cap -------
+    decode_specs = [replica.spec for replica in decode_fleet.replicas]
+    servers_d = len(decode_specs)
+    reserved = prompt_tokens + output_tokens
+    cap = min(min(max_batch, kv.capacity_for(spec, bytes_per_token) // reserved)
+              for spec in decode_specs)
+    if cap < 1:
+        raise ValueError(
+            f"one {prompt_tokens}+{output_tokens}-token reservation does not "
+            f"fit the smallest decode replica's KV cache")
+    decode_name = _configured(model, tokens=1,
+                              kv_tokens=_bucket(reserved, kv_bucket),
+                              phase="decode")
+
+    def step_seconds(batch: int) -> float:
+        return sum(run_seconds(decode_name, spec, batch)
+                   for spec in decode_specs) / servers_d
+
+    decode_steps = output_tokens - 1
+    if decode_steps == 0:
+        batch_d, step, tpot = 1, step_seconds(1), None
+        utilization_d, stable_d = 0.0, True
+    else:
+        # Concurrency fixed point: requests decoding at once = arrival rate x
+        # time spent decoding, spread across the pool and clamped to the cap.
+        batch = 1.0
+        for _ in range(32):
+            step = step_seconds(max(1, round(batch)))
+            target = min(float(cap),
+                         max(1.0, rate * decode_steps * step / servers_d))
+            if abs(target - batch) < 0.5:
+                batch = target
+                break
+            batch = (batch + target) / 2.0
+        batch_d = max(1, min(cap, round(batch)))
+        step = step_seconds(batch_d)
+        utilization_d = rate * decode_steps * step / (servers_d * batch_d)
+        if utilization_d >= 1.0 and batch_d < cap:
+            # The fixed point says overload, but a saturated pool runs full
+            # batches — judge stability at the batch saturation produces.
+            batch_d = cap
+            step = step_seconds(batch_d)
+            utilization_d = rate * decode_steps * step / (servers_d * batch_d)
+        stable_d = utilization_d < 1.0
+        tpot = step if stable_d else None
+    ceiling = servers_d * cap / step_seconds(cap)
+
+    return LLMPoolEstimate(
+        prefill_fleet=prefill_fleet.describe(),
+        decode_fleet=decode_fleet.describe(),
+        rate_rps=rate,
+        prompt_tokens=prompt_tokens,
+        output_tokens=output_tokens,
+        prefill_service_seconds=prefill_service,
+        prefill_utilization=utilization_p,
+        prefill_stable=stable_p,
+        ttft_mean_seconds=ttft_mean,
+        ttft=ttft,
+        decode_batch=batch_d,
+        decode_concurrency_cap=cap,
+        decode_step_seconds=step,
+        tpot_seconds=tpot,
+        decode_utilization=utilization_d,
+        decode_stable=stable_d,
+        decode_ceiling_tokens_per_second=ceiling,
     )

@@ -14,6 +14,9 @@ request under load.  The pieces:
   and energy-aware routing;
 * :mod:`simulator` — the deterministic event loop, :func:`serve` and
   :func:`compare`;
+* :mod:`llm` — autoregressive serving: continuous (iteration-level) batching
+  vs monolithic gangs, chunked prefill, KV-cache admission and
+  prefill/decode-disaggregated fleets via :func:`serve_llm`;
 * :mod:`metrics` — per-request records folded into the JSON-serialisable
   :class:`ServeReport` (p50/p95/p99, throughput, utilisation, SLO violations,
   energy/request, cache traffic).
@@ -47,6 +50,20 @@ from repro.serve.cluster import (
     Router,
     make_router,
 )
+from repro.serve.llm import (
+    DEFAULT_HANDOFF_SECONDS,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_OUTPUT_TOKENS,
+    DEFAULT_PREFILL_CHUNK,
+    DEFAULT_PROMPT_TOKENS,
+    DEFAULT_TPOT_SLO,
+    DEFAULT_TTFT_SLO,
+    KVCacheConfig,
+    LLMReplica,
+    LLMRequest,
+    SCHEDULERS,
+    serve_llm,
+)
 from repro.serve.metrics import (
     DEFAULT_PERCENTILES,
     LatencySummary,
@@ -73,6 +90,8 @@ from repro.serve.traffic import (
     PoissonTraffic,
     ReplayTraffic,
     Request,
+    TokenDistribution,
+    TokenProfile,
     TrafficPattern,
     WorkloadMix,
     make_traffic,
@@ -84,13 +103,23 @@ __all__ = [
     "BurstyTraffic",
     "DEFAULT_CACHE_ENTRIES",
     "DEFAULT_DISPATCH_OVERHEAD",
+    "DEFAULT_HANDOFF_SECONDS",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_OUTPUT_TOKENS",
     "DEFAULT_PERCENTILES",
+    "DEFAULT_PREFILL_CHUNK",
+    "DEFAULT_PROMPT_TOKENS",
     "DEFAULT_SLO",
+    "DEFAULT_TPOT_SLO",
+    "DEFAULT_TTFT_SLO",
     "DiurnalTraffic",
     "EnergyAwareRouter",
     "Estimate",
     "FIFOPolicy",
     "Fleet",
+    "KVCacheConfig",
+    "LLMReplica",
+    "LLMRequest",
     "LatencySummary",
     "LeastLoadedRouter",
     "PoissonTraffic",
@@ -102,11 +131,14 @@ __all__ = [
     "Request",
     "RequestRecord",
     "Router",
+    "SCHEDULERS",
     "ScaleEvent",
     "ServeReport",
     "SizeBatchPolicy",
     "TRAFFIC_PATTERNS",
     "TimeoutBatchPolicy",
+    "TokenDistribution",
+    "TokenProfile",
     "TrafficPattern",
     "WindowReport",
     "WorkloadMix",
@@ -118,4 +150,5 @@ __all__ = [
     "percentile",
     "percentile_label",
     "serve",
+    "serve_llm",
 ]

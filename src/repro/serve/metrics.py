@@ -174,13 +174,27 @@ class ReplicaReport:
     energy_joules: float
     started_at: float = 0.0
     retired_at: float | None = None
+    #: LLM-serving extras (set only by :mod:`repro.serve.llm` runs, so classic
+    #: ``serve`` reports keep their exact pre-existing JSON shape).
+    role: str | None = None
+    kv_capacity_tokens: int | None = None
+    kv_peak_tokens: int | None = None
+    decode_steps: int | None = None
 
     def to_dict(self) -> dict[str, object]:
-        return {"name": self.name, "target": self.target, "attention": self.attention,
-                "requests": self.requests, "batches": self.batches,
-                "busy_seconds": self.busy_seconds, "utilization": self.utilization,
-                "energy_joules": self.energy_joules,
-                "started_at": self.started_at, "retired_at": self.retired_at}
+        payload: dict[str, object] = {
+            "name": self.name, "target": self.target, "attention": self.attention,
+            "requests": self.requests, "batches": self.batches,
+            "busy_seconds": self.busy_seconds, "utilization": self.utilization,
+            "energy_joules": self.energy_joules,
+            "started_at": self.started_at, "retired_at": self.retired_at}
+        if self.role is not None:
+            payload.update({
+                "role": self.role,
+                "kv_capacity_tokens": self.kv_capacity_tokens,
+                "kv_peak_tokens": self.kv_peak_tokens,
+                "decode_steps": self.decode_steps})
+        return payload
 
 
 @dataclass(frozen=True)
@@ -208,6 +222,13 @@ class ServeReport:
     replica_seconds: float = 0.0
     scale_events: tuple[ScaleEvent, ...] = field(default_factory=tuple)
     windows: tuple[WindowReport, ...] | None = None
+    #: Autoregressive-serving phase latencies (set only by LLM runs —
+    #: time-to-first-token and time-per-output-token; JSON shape is additive).
+    ttft: LatencySummary | None = None
+    tpot: LatencySummary | None = None
+    #: Token/KV accounting block of an LLM run (scheduler, generated tokens,
+    #: decode throughput, per-phase SLO attainment), None for classic runs.
+    llm: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -232,6 +253,12 @@ class ServeReport:
         }
         if self.windows is not None:
             payload["windows"] = [window.to_dict() for window in self.windows]
+        if self.ttft is not None:
+            payload["ttft"] = self.ttft.to_dict()
+        if self.tpot is not None:
+            payload["tpot"] = self.tpot.to_dict()
+        if self.llm is not None:
+            payload["llm"] = self.llm
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -249,6 +276,9 @@ class ServeReport:
         }
         for label, value in self.latency.extras:
             row[f"{label}_ms"] = value * 1e3
+        if self.ttft is not None and self.tpot is not None:
+            row["ttft_p95_ms"] = self.ttft.p95 * 1e3
+            row["tpot_p95_ms"] = self.tpot.p95 * 1e3
         row.update({
             "mean_batch": self.mean_batch_size,
             "slo_violation_rate": self.slo_violation_rate,
@@ -302,8 +332,16 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
                  replicas, cache_stats: CacheStats,
                  percentiles: Sequence[float] = DEFAULT_PERCENTILES,
                  scale_events: Sequence[ScaleEvent] = (),
-                 window_seconds: float | None = None) -> ServeReport:
-    """Fold raw request records and replica accounting into a report."""
+                 window_seconds: float | None = None,
+                 ttft_values: Sequence[float] | None = None,
+                 tpot_values: Sequence[float] | None = None,
+                 llm: dict[str, object] | None = None) -> ServeReport:
+    """Fold raw request records and replica accounting into a report.
+
+    ``ttft_values`` / ``tpot_values`` / ``llm`` are the LLM-serving extras
+    (:mod:`repro.serve.llm` passes them); left at ``None`` the report's JSON
+    shape is exactly the classic one.
+    """
 
     latencies = [record.latency for record in records]
     waits = [record.queue_wait for record in records]
@@ -324,7 +362,11 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
             batches=replica.batches, busy_seconds=replica.busy_seconds,
             utilization=replica.busy_seconds / makespan,
             energy_joules=replica.energy_joules,
-            started_at=replica.started_at, retired_at=replica.retired_at)
+            started_at=replica.started_at, retired_at=replica.retired_at,
+            role=getattr(replica, "role", None),
+            kv_capacity_tokens=getattr(replica, "kv_capacity", None),
+            kv_peak_tokens=getattr(replica, "kv_peak", None),
+            decode_steps=getattr(replica, "decode_steps", None))
         for replica in replicas
     )
     return ServeReport(
@@ -341,7 +383,7 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
         slo_violation_rate=violations / completed if completed else 0.0,
         total_energy_joules=total_energy,
         energy_per_request_joules=total_energy / completed if completed else 0.0,
-        per_model=tuple(sorted(((model, LatencySummary.of(values))
+        per_model=tuple(sorted(((model, LatencySummary.of(values, percentiles))
                                 for model, values in by_model.items()),
                                key=lambda entry: entry[0])),
         per_replica=per_replica,
@@ -351,4 +393,9 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
         scale_events=tuple(scale_events),
         windows=(None if window_seconds is None
                  else _build_windows(records, replicas, makespan, window_seconds)),
+        ttft=(None if ttft_values is None
+              else LatencySummary.of(ttft_values, percentiles)),
+        tpot=(None if tpot_values is None
+              else LatencySummary.of(tpot_values, percentiles)),
+        llm=llm,
     )

@@ -46,22 +46,104 @@ def _check_workload_name(model: str, where: str) -> None:
 
 
 @dataclass(frozen=True)
+class TokenDistribution:
+    """A seeded integer token-count distribution: fixed or uniform over a range.
+
+    Spelled ``"512"`` (every draw is 512) or ``"64:256"`` (uniform integers,
+    both ends inclusive) — the grammar the CLI's ``--prompt-tokens`` /
+    ``--output-tokens`` flags use.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.low < 1:
+            raise ValueError(f"token counts must be >= 1, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"token range needs low <= high, "
+                             f"got {self.low}:{self.high}")
+
+    @classmethod
+    def parse(cls, text: "str | int | TokenDistribution") -> "TokenDistribution":
+        if isinstance(text, TokenDistribution):
+            return text
+        if isinstance(text, int):
+            return cls(text, text)
+        low, sep, high = str(text).partition(":")
+        try:
+            return cls(int(low), int(high) if sep else int(low))
+        except ValueError:
+            raise ValueError(f"token distribution must be 'N' or 'LO:HI', "
+                             f"got {text!r}") from None
+
+    def sample(self, rng: random.Random) -> int:
+        if self.high == self.low:
+            return self.low
+        return rng.randint(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def describe(self) -> str:
+        return str(self.low) if self.high == self.low else f"{self.low}:{self.high}"
+
+
+@dataclass(frozen=True)
+class TokenProfile:
+    """Per-request prompt/output token distributions for one workload."""
+
+    prompt: TokenDistribution
+    output: TokenDistribution
+
+    @classmethod
+    def of(cls, prompt: "str | int | TokenDistribution",
+           output: "str | int | TokenDistribution") -> "TokenProfile":
+        return cls(TokenDistribution.parse(prompt), TokenDistribution.parse(output))
+
+    def to_dict(self) -> dict[str, str]:
+        return {"prompt": self.prompt.describe(), "output": self.output.describe()}
+
+
+@dataclass(frozen=True)
 class Request:
-    """One inference request: which workload, and when it arrived."""
+    """One inference request: which workload, and when it arrived.
+
+    ``prompt_tokens`` / ``output_tokens`` are the autoregressive-serving
+    geometry (set by token-profiled mixes and token-carrying traces); ``None``
+    means "use the server's defaults", and classic (non-LLM) serving ignores
+    them entirely.
+    """
 
     index: int
     model: str
     arrival: float
+    prompt_tokens: int | None = None
+    output_tokens: int | None = None
 
     def to_dict(self) -> dict[str, object]:
-        return {"index": self.index, "model": self.model, "arrival": self.arrival}
+        payload: dict[str, object] = {
+            "index": self.index, "model": self.model, "arrival": self.arrival}
+        if self.prompt_tokens is not None:
+            payload["prompt_tokens"] = self.prompt_tokens
+        if self.output_tokens is not None:
+            payload["output_tokens"] = self.output_tokens
+        return payload
 
 
 @dataclass(frozen=True)
 class WorkloadMix:
-    """A weighted mixture of workload names requests are drawn from."""
+    """A weighted mixture of workload names requests are drawn from.
+
+    ``token_profiles`` optionally attaches a per-model
+    :class:`TokenProfile`; requests for a profiled model then carry sampled
+    ``prompt_tokens`` / ``output_tokens`` (drawn from the same seeded
+    generator as the model choice, so arrival lists stay bit-reproducible).
+    """
 
     entries: tuple[tuple[str, float], ...]
+    token_profiles: tuple[tuple[str, TokenProfile], ...] = ()
 
     def __post_init__(self):
         if not self.entries:
@@ -75,15 +157,33 @@ class WorkloadMix:
         # Duplicate names collapse to one summed entry, so the config echo
         # (to_dict) describes exactly the distribution sample() draws from.
         object.__setattr__(self, "entries", tuple(merged.items()))
+        models = {model for model, _ in self.entries}
+        for model, _profile in self.token_profiles:
+            if model not in models:
+                raise ValueError(f"token profile for {model!r} matches no mix entry")
 
     @classmethod
     def of(cls, models: Sequence[str],
-           weights: Sequence[float] | None = None) -> "WorkloadMix":
+           weights: Sequence[float] | None = None,
+           tokens: "TokenProfile | dict[str, TokenProfile] | None" = None
+           ) -> "WorkloadMix":
         if weights is None:
             weights = [1.0] * len(models)
         if len(weights) != len(models):
             raise ValueError(f"{len(models)} models but {len(weights)} weights")
-        return cls(tuple(zip(models, weights)))
+        if tokens is None:
+            profiles: tuple[tuple[str, TokenProfile], ...] = ()
+        elif isinstance(tokens, TokenProfile):
+            profiles = tuple((model, tokens) for model in dict.fromkeys(models))
+        else:
+            profiles = tuple(sorted(tokens.items()))
+        return cls(tuple(zip(models, weights)), profiles)
+
+    def profile_for(self, model: str) -> TokenProfile | None:
+        for name, profile in self.token_profiles:
+            if name == model:
+                return profile
+        return None
 
     def sample(self, rng: random.Random) -> str:
         if len(self.entries) == 1:
@@ -97,8 +197,25 @@ class WorkloadMix:
                 return model
         return self.entries[-1][0]
 
-    def to_dict(self) -> dict[str, float]:
-        return dict(self.entries)
+    def sample_tokens(self, model: str,
+                      rng: random.Random) -> tuple[int | None, int | None]:
+        """Draw (prompt, output) token counts, (None, None) when unprofiled.
+
+        Unprofiled models consume no randomness, so mixes without token
+        profiles reproduce the exact pre-profile arrival sequences.
+        """
+
+        profile = self.profile_for(model)
+        if profile is None:
+            return None, None
+        return profile.prompt.sample(rng), profile.output.sample(rng)
+
+    def to_dict(self) -> dict:
+        if not self.token_profiles:
+            return dict(self.entries)
+        return {"weights": dict(self.entries),
+                "tokens": {model: profile.to_dict()
+                           for model, profile in self.token_profiles}}
 
 
 @runtime_checkable
@@ -123,8 +240,13 @@ def _check_duration(duration: float) -> None:
 
 def _requests(times: Iterable[float], mix: WorkloadMix,
               rng: random.Random) -> list[Request]:
-    return [Request(index=index, model=mix.sample(rng), arrival=time)
-            for index, time in enumerate(times)]
+    requests = []
+    for index, time in enumerate(times):
+        model = mix.sample(rng)
+        prompt, output = mix.sample_tokens(model, rng)
+        requests.append(Request(index=index, model=model, arrival=time,
+                                prompt_tokens=prompt, output_tokens=output))
+    return requests
 
 
 @dataclass(frozen=True)
@@ -255,28 +377,53 @@ class DiurnalTraffic:
 
 @dataclass(frozen=True)
 class ReplayTraffic:
-    """Replay of an explicit ``(time, model)`` trace (seed is ignored)."""
+    """Replay of an explicit trace (seed is ignored).
 
-    trace: tuple[tuple[float, str], ...]
+    Entries are ``(time, model)`` or ``(time, model, prompt_tokens,
+    output_tokens)`` — token-carrying records make traces first-class LLM
+    workloads (each replayed request keeps its own prompt/output geometry).
+    """
+
+    trace: tuple[tuple, ...]
     name: str = "replay"
 
     def __post_init__(self):
-        for time, model in self.trace:
+        for entry in self.trace:
+            time, model = entry[0], entry[1]
             if time < 0:
                 raise ValueError(f"trace times must be non-negative, got {time}")
             _check_workload_name(model, "trace")
+            for tokens in entry[2:]:
+                if tokens < 1:
+                    raise ValueError(f"trace token counts must be >= 1, "
+                                     f"got {tokens} for {model!r}")
 
     @classmethod
     def from_records(cls, records: Iterable[Sequence[object]]) -> "ReplayTraffic":
-        """Build from ``[[time, model], ...]`` records (e.g. parsed JSON)."""
+        """Build from ``[[time, model], ...]`` or ``[[time, model,
+        prompt_tokens, output_tokens], ...]`` records (e.g. parsed JSON)."""
 
-        return cls(tuple((float(time), str(model)) for time, model in records))
+        trace = []
+        for record in records:
+            if len(record) == 2:
+                time, model = record
+                trace.append((float(time), str(model)))
+            elif len(record) == 4:
+                time, model, prompt, output = record
+                trace.append((float(time), str(model), int(prompt), int(output)))
+            else:
+                raise ValueError(f"trace records must be [time, model] or "
+                                 f"[time, model, prompt_tokens, output_tokens], "
+                                 f"got {record!r}")
+        return cls(tuple(trace))
 
     def arrivals(self, duration: float, seed: int) -> list[Request]:
         _check_duration(duration)
         ordered = sorted(entry for entry in self.trace if entry[0] < duration)
-        return [Request(index=index, model=model, arrival=time)
-                for index, (time, model) in enumerate(ordered)]
+        return [Request(index=index, model=entry[1], arrival=entry[0],
+                        prompt_tokens=entry[2] if len(entry) > 2 else None,
+                        output_tokens=entry[3] if len(entry) > 2 else None)
+                for index, entry in enumerate(ordered)]
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "trace_length": len(self.trace)}
@@ -285,18 +432,22 @@ class ReplayTraffic:
 def make_traffic(pattern: str, rate: float, models: Sequence[str],
                  weights: Sequence[float] | None = None, *,
                  period: float = 10.0,
-                 trace: Iterable[Sequence[object]] | None = None) -> TrafficPattern:
+                 trace: Iterable[Sequence[object]] | None = None,
+                 tokens: "TokenProfile | None" = None) -> TrafficPattern:
     """Build a traffic pattern by name (the CLI entry point).
 
     ``rate`` is the mean (Poisson/bursty) or peak (diurnal) arrival rate in
-    requests per second; ``replay`` requires ``trace`` and ignores the rest.
+    requests per second; ``replay`` requires ``trace`` and ignores the rest
+    (including ``tokens`` — replay records carry their own token counts).
+    ``tokens`` attaches one prompt/output :class:`TokenProfile` to every
+    model in the mix.
     """
 
     if pattern == "replay":
         if trace is None:
             raise ValueError("replay traffic requires a trace")
         return ReplayTraffic.from_records(trace)
-    mix = WorkloadMix.of(tuple(models), weights)
+    mix = WorkloadMix.of(tuple(models), weights, tokens=tokens)
     if pattern == "poisson":
         return PoissonTraffic(rate, mix)
     if pattern == "bursty":

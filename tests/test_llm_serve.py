@@ -1,0 +1,237 @@
+"""Tests for LLM serving: continuous batching, KV accounting, disaggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.plan import estimate_llm_pools, plan_llm_capacity
+from repro.serve import (
+    KVCacheConfig,
+    PoissonTraffic,
+    ReplayTraffic,
+    TokenDistribution,
+    TokenProfile,
+    WorkloadMix,
+    serve,
+    serve_llm,
+)
+
+MIX = WorkloadMix.of(["decoder"])
+
+
+def _traffic(rate: float = 15.0, mix: WorkloadMix = MIX) -> PoissonTraffic:
+    return PoissonTraffic(rate=rate, mix=mix)
+
+
+class TestTokenProfiles:
+    def test_distribution_grammar(self):
+        assert TokenDistribution.parse("512") == TokenDistribution(512, 512)
+        assert TokenDistribution.parse("64:256") == TokenDistribution(64, 256)
+        assert TokenDistribution.parse(128).mean == 128.0
+        with pytest.raises(ValueError):
+            TokenDistribution.parse("256:64")
+
+    def test_unprofiled_requests_carry_no_tokens(self):
+        requests = _traffic().arrivals(2.0, seed=0)
+        assert all(r.prompt_tokens is None and r.output_tokens is None
+                   for r in requests)
+
+    def test_profiled_requests_sample_in_range(self):
+        mix = WorkloadMix.of(["decoder"],
+                             tokens=TokenProfile.of("128:256", 32))
+        requests = PoissonTraffic(rate=50.0, mix=mix).arrivals(2.0, seed=0)
+        assert requests
+        assert all(128 <= r.prompt_tokens <= 256 for r in requests)
+        assert all(r.output_tokens == 32 for r in requests)
+        assert len({r.prompt_tokens for r in requests}) > 1
+        again = PoissonTraffic(rate=50.0, mix=mix).arrivals(2.0, seed=0)
+        assert requests == again
+
+    def test_profiles_do_not_disturb_unprofiled_arrivals(self):
+        """Adding a profile must not shift the arrival sequence itself."""
+
+        plain = _traffic(50.0).arrivals(2.0, seed=0)
+        mix = WorkloadMix.of(["decoder"], tokens=TokenProfile.of(512, 64))
+        profiled = PoissonTraffic(rate=50.0, mix=mix).arrivals(2.0, seed=0)
+        assert [(r.arrival, r.model) for r in plain] == \
+            [(r.arrival, r.model) for r in profiled]
+
+    def test_replay_token_records(self):
+        trace = ReplayTraffic.from_records(
+            [[0.0, "decoder", 128, 8], [0.5, "decoder", 256, 4]])
+        requests = trace.arrivals(1.0, seed=0)
+        assert [(r.prompt_tokens, r.output_tokens) for r in requests] == \
+            [(128, 8), (256, 4)]
+        with pytest.raises(ValueError):
+            ReplayTraffic.from_records([[0.0, "decoder", 128]])
+
+
+class TestKVCache:
+    def test_capacity_from_sram(self):
+        from repro.workloads import get_workload
+        kv = KVCacheConfig()
+        per_token = kv.bytes_per_token(get_workload("decoder"))
+        # decoder: 12 layers x 12 heads x (64 + 64) dims x 2 bytes.
+        assert per_token == 12 * 12 * 128 * 2
+        report = serve_llm(_traffic(2.0), fleet="1xvitality", duration=1.0,
+                           prompt_tokens=64, output_tokens=4)
+        expected = int(200 * 1024 * kv.dram_ratio // per_token)
+        assert report.per_replica[0].kv_capacity_tokens == expected
+
+    def test_admission_at_exactly_full_capacity(self):
+        """A reservation equal to the remaining capacity must be admitted."""
+
+        trace = ReplayTraffic.from_records([[0.0, "decoder", 96, 32]])
+        report = serve_llm(trace, fleet="1xvitality", duration=1.0,
+                           kv=KVCacheConfig(capacity_tokens=128))
+        assert report.completed == 1
+        assert report.per_replica[0].kv_peak_tokens == 128
+
+    def test_oversized_request_is_a_clean_error(self):
+        trace = ReplayTraffic.from_records([[0.0, "decoder", 256, 16]])
+        with pytest.raises(ValueError, match="KV tokens"):
+            serve_llm(trace, fleet="1xvitality", duration=1.0,
+                      kv=KVCacheConfig(capacity_tokens=128))
+
+    def test_completion_unblocks_queued_request(self):
+        """Two requests, capacity for one: the second must wait for the
+        first's completion to free KV, then run to completion."""
+
+        trace = ReplayTraffic.from_records(
+            [[0.0, "decoder", 96, 16], [0.001, "decoder", 96, 16]])
+        blocked = serve_llm(trace, fleet="1xvitality", duration=1.0,
+                            kv=KVCacheConfig(capacity_tokens=128))
+        ample = serve_llm(trace, fleet="1xvitality", duration=1.0,
+                          kv=KVCacheConfig(capacity_tokens=4096))
+        assert blocked.completed == ample.completed == 2
+        assert blocked.per_replica[0].kv_peak_tokens <= 128
+        # Under the tight cap the second request's admission waits for the
+        # first's *completion* (its decode included), not just its prefill.
+        assert blocked.queue_wait.max > ample.queue_wait.max + 0.005
+
+    def test_kv_never_exceeds_capacity(self):
+        report = serve_llm(_traffic(30.0), fleet="1xvitality", duration=2.0,
+                           kv=KVCacheConfig(capacity_tokens=2048),
+                           prompt_tokens=256, output_tokens=32)
+        replica = report.per_replica[0]
+        assert 0 < replica.kv_peak_tokens <= 2048
+
+
+class TestServeLLM:
+    def test_deterministic_reports(self):
+        first = serve_llm(_traffic(), fleet="2xvitality", duration=2.0, seed=4)
+        second = serve_llm(_traffic(), fleet="2xvitality", duration=2.0, seed=4)
+        assert first.to_json() == second.to_json()
+
+    def test_disaggregated_deterministic(self):
+        kwargs = dict(prefill_fleet="1xvitality", decode_fleet="1xvitality",
+                      duration=2.0, seed=4)
+        first = serve_llm(_traffic(), **kwargs)
+        second = serve_llm(_traffic(), **kwargs)
+        assert first.to_json() == second.to_json()
+
+    def test_every_request_served_with_roles(self):
+        report = serve_llm(_traffic(), prefill_fleet="1xvitality",
+                           decode_fleet="1xvitality", duration=2.0, seed=0)
+        assert report.completed == report.offered > 0
+        roles = {r.role for r in report.per_replica}
+        assert roles == {"prefill", "decode"}
+        decode = next(r for r in report.per_replica if r.role == "decode")
+        prefill = next(r for r in report.per_replica if r.role == "prefill")
+        assert decode.decode_steps > 0
+        # Completions are recorded on the decode pool; the prefill pool only
+        # runs prompt chunks.
+        assert decode.requests == report.completed
+        assert prefill.requests == 0 and prefill.decode_steps == 0
+
+    def test_ttft_and_tpot_sanity(self):
+        report = serve_llm(_traffic(2.0), fleet="1xvitality", duration=2.0,
+                           prompt_tokens=512, output_tokens=16)
+        # TTFT covers at least the prefill compute (512 tokens ~ 26ms on
+        # vitality), TPOT at least one decode step (~1ms), both well under
+        # a second at this trivial load.
+        assert 0.02 < report.ttft.mean < 0.2
+        assert 5e-4 < report.tpot.mean < 0.05
+        assert report.llm["generated_tokens"] == report.completed * 15
+        assert report.llm["prefill_tokens"] == report.offered * 512
+
+    def test_continuous_beats_monolithic_decode_throughput(self):
+        cache = ResultCache(max_entries=4096)
+        mix = WorkloadMix.of(["decoder"],
+                             tokens=TokenProfile.of(256, "16:128"))
+        traffic = PoissonTraffic(rate=40.0, mix=mix)
+        rates = {}
+        for scheduler in ("continuous", "monolithic"):
+            report = serve_llm(traffic, fleet="2xvitality", duration=2.0,
+                               seed=0, scheduler=scheduler, cache=cache)
+            rates[scheduler] = report.llm["decode_tokens_per_second"]
+        assert rates["continuous"] > rates["monolithic"]
+
+    def test_monolithic_rejects_disaggregated_fleets(self):
+        with pytest.raises(ValueError, match="monolithic"):
+            serve_llm(_traffic(), prefill_fleet="1xvitality",
+                      decode_fleet="1xvitality", scheduler="monolithic",
+                      duration=1.0)
+
+    def test_fleet_arguments_are_exclusive(self):
+        with pytest.raises(ValueError):
+            serve_llm(_traffic(), fleet="1xvitality",
+                      prefill_fleet="1xvitality", decode_fleet="1xvitality",
+                      duration=1.0)
+        with pytest.raises(ValueError):
+            serve_llm(_traffic(), duration=1.0)
+
+    def test_non_sequence_model_is_rejected(self):
+        traffic = PoissonTraffic(rate=5.0, mix=WorkloadMix.of(["deit-tiny"]))
+        with pytest.raises(ValueError, match="sequence-family"):
+            serve_llm(traffic, fleet="1xvitality", duration=1.0)
+
+    def test_classic_report_shape_unchanged(self):
+        """The additive LLM fields must not leak into classic serve JSON."""
+
+        report = serve(_traffic(5.0), "1xvitality", duration=1.0, seed=0)
+        payload = json.loads(report.to_json())
+        assert "ttft" not in payload and "tpot" not in payload
+        assert "llm" not in payload
+        assert all("role" not in replica for replica in payload["per_replica"])
+        assert "ttft_p95_ms" not in report.summary_row()
+
+    def test_llm_report_json_round_trip(self):
+        report = serve_llm(_traffic(), fleet="1xvitality", duration=1.0, seed=0)
+        payload = json.loads(report.to_json())
+        assert payload["llm"]["scheduler"] == "continuous"
+        assert payload["ttft"]["count"] == report.completed
+        assert payload["per_replica"][0]["role"] == "unified"
+
+
+class TestLLMPlanning:
+    def test_estimate_llm_pools(self):
+        estimate = estimate_llm_pools("2xvitality", "1xvitality", 10.0,
+                                      "decoder", prompt_tokens=512,
+                                      output_tokens=64)
+        assert estimate.prefill_stable
+        assert estimate.prefill_service_seconds > 0.01
+        assert estimate.predicted_ttft(0.95) >= estimate.prefill_service_seconds
+        assert 1 <= estimate.decode_batch <= estimate.decode_concurrency_cap
+        payload = estimate.to_dict()
+        assert payload["stable"] == estimate.stable
+
+    def test_estimate_overload_is_unstable(self):
+        estimate = estimate_llm_pools("1xvitality", "1xvitality", 500.0,
+                                      "decoder")
+        assert not estimate.stable
+        assert estimate.ttft_mean_seconds is None or estimate.tpot_seconds is None
+
+    def test_plan_llm_capacity_chooses_and_validates(self):
+        payload = plan_llm_capacity(
+            8.0, "decoder", ttft_slo_seconds=0.2, tpot_slo_seconds=0.01,
+            duration=1.0, max_replicas=4, top_k=1)
+        assert payload["evaluated"] == 6       # splits of 2..4 replicas
+        chosen = payload["chosen"]
+        assert chosen is not None
+        assert chosen["slo_attained"]
+        reference = payload["colocated_reference"]
+        assert reference["fleet"] == f"{chosen['replicas']}xvitality"

@@ -434,6 +434,18 @@ class TestConfigurablePercentiles:
             serve(PoissonTraffic(rate=50.0, mix=MIX), "1xvitality",
                   duration=0.5, window_seconds=0.0)
 
+    def test_per_model_summaries_carry_extra_percentiles(self):
+        """Regression: per-model summaries used to drop the percentiles knob,
+        so extra quantiles were reachable fleet-wide but not per model."""
+
+        report = serve(PoissonTraffic(rate=200.0, mix=MIXED), "1xvitality",
+                       duration=1.0, seed=0,
+                       percentiles=(0.5, 0.95, 0.99, 0.999))
+        assert report.per_model
+        for model, summary in report.per_model:
+            assert summary.quantile(0.999) >= summary.p99
+            assert "p99.9" in summary.to_dict()
+
 
 class TestMetrics:
     def test_percentile_nearest_rank(self):
