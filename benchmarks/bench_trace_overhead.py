@@ -1,0 +1,62 @@
+"""Observability overhead: tracing must be zero-cost when disabled.
+
+Not a paper artifact — the guard-rail for the observability layer.  Three
+configurations of the same seeded LLM serving run are timed (min over
+repeats, the standard low-noise estimator):
+
+* ``off``      — ``obs=None``, the literal pre-observability code path;
+* ``disabled`` — a passive :class:`Observability` attached (all sinks
+  ``None``), the worst case a ``--quiet`` CLI run can hit;
+* ``enabled``  — full trace + metrics recording.
+
+The assertion pins the contract from the module docs: attaching a disabled
+observer costs under 5% over no observer at all.  Enabled-recording overhead
+is recorded in the JSON trajectory but deliberately not bounded — it buys
+the trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import MetricsCollector, Observability, TraceRecorder
+from repro.serve import KVCacheConfig, make_traffic, serve_llm
+
+REPEATS = 5
+RATE = 60.0
+DURATION = 4.0
+
+
+def run_serve(obs=None):
+    traffic = make_traffic("poisson", RATE, ("decoder",))
+    return serve_llm(traffic, fleet="2xvitality", duration=DURATION, seed=17,
+                     prompt_tokens=256, output_tokens=48,
+                     kv=KVCacheConfig(capacity_tokens=16384), obs=obs)
+
+
+def best_of(make_obs) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        obs = make_obs()
+        start = time.perf_counter()
+        run_serve(obs=obs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_trace_overhead(report, bench_json):
+    baseline = best_of(lambda: None)
+    disabled = best_of(lambda: Observability())
+    enabled = best_of(lambda: Observability(trace=TraceRecorder(),
+                                            metrics=MetricsCollector()))
+    disabled_overhead = disabled / baseline - 1.0
+    enabled_overhead = enabled / baseline - 1.0
+    payload = {"baseline_seconds": baseline, "disabled_seconds": disabled,
+               "enabled_seconds": enabled,
+               "disabled_overhead": disabled_overhead,
+               "enabled_overhead": enabled_overhead}
+    report("observability overhead (min of %d runs)" % REPEATS, payload)
+    bench_json("trace_overhead", baseline,
+               disabled_overhead=disabled_overhead,
+               enabled_overhead=enabled_overhead)
+    assert disabled_overhead < 0.05, payload

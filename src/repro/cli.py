@@ -31,6 +31,10 @@ Usage examples::
                           --prompt-tokens 256:1024          # disaggregated pools
     python -m repro plan --llm --models decoder --rate 15 --duration 4 \
                          --ttft-slo-ms 100 --tpot-slo-ms 8  # size both pools
+    python -m repro serve --llm --models decoder --rate 20 --duration 4 \
+                          --trace-out trace.json --metrics-out metrics.prom
+    python -m repro trace summarize trace.json  # queue/prefill/decode breakdown
+    python -m repro --log-level debug serve --rate 100 --duration 1 --quiet
 """
 
 from __future__ import annotations
@@ -55,6 +59,19 @@ from repro.experiments.dse_exps import explore_design_space
 from repro.experiments import get_experiment, list_experiments, run_experiment
 from repro.experiments.reporting import markdown_table, render_experiment
 from repro.models import available_attention_modes, available_models
+from repro.obs import (
+    LOG_LEVELS,
+    MetricsCollector,
+    Observability,
+    Progress,
+    TraceRecorder,
+    configure_logging,
+    format_summary,
+    load_trace,
+    summarize_trace,
+    write_chrome_trace,
+    write_prometheus,
+)
 from repro.plan import SCALE_POLICIES, Autoscaler, plan_capacity, plan_llm_capacity
 from repro.serve import (
     BATCH_POLICIES,
@@ -91,6 +108,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="persist simulation results as JSON under DIR so "
                              "repeated invocations skip simulated design points")
+    parser.add_argument("--log-level", choices=LOG_LEVELS, default="warning",
+                        help="logging verbosity on stderr (debug narrates "
+                             "dispatch and autoscaling decisions)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list experiments, models, attention modes and targets")
@@ -215,6 +235,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="delay before a scaled-up replica comes online")
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--json", action="store_true")
+    srv.add_argument("--trace-out", metavar="FILE",
+                     help="record the run as Chrome trace-event JSON "
+                          "(load in Perfetto; summarize with `repro trace`)")
+    srv.add_argument("--metrics-out", metavar="FILE",
+                     help="write streaming run metrics in the Prometheus "
+                          "text exposition format")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress the stderr progress indicator")
     llm = srv.add_argument_group(
         "llm serving", "autoregressive serving: continuous batching, chunked "
                        "prefill, KV-cache admission, disaggregated pools")
@@ -282,6 +310,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="host-side dispatch overhead per batch")
     plan.add_argument("--seed", type=int, default=0)
     plan.add_argument("--json", action="store_true")
+    plan.add_argument("--quiet", action="store_true",
+                      help="suppress the stderr progress milestones")
     plan_llm = plan.add_argument_group(
         "llm planning", "size disaggregated prefill/decode pools against a "
                         "TTFT+TPOT SLO pair (first --models entry, first "
@@ -305,6 +335,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="host overhead per prefill chunk / decode step")
     plan_llm.add_argument("--handoff-ms", type=float, default=2.0,
                           help="prefill-to-decode KV transfer delay")
+
+    trace = subparsers.add_parser(
+        "trace", help="work with trace files recorded by serve --trace-out")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="critical-path breakdown of one trace: time in "
+                          "queue vs prefill vs decode vs handoff, per model "
+                          "and per replica kind")
+    summarize.add_argument("trace_file", help="Chrome trace-event JSON file")
+    summarize.add_argument("--json", action="store_true")
 
     accelerate = subparsers.add_parser("accelerate",
                                        help="run the accelerator comparison for one model")
@@ -524,6 +564,43 @@ def _parse_percentiles(text: str) -> tuple[float, ...]:
     return tuple(sorted(fractions))
 
 
+def _build_observability(arguments: argparse.Namespace,
+                         percentiles) -> Observability | None:
+    """The serve run's obs bundle, or None when every sink is off.
+
+    None (not an empty bundle) keeps the simulator's disabled path literally
+    hook-free, which is what the <5% overhead benchmark holds the line on.
+    """
+
+    trace = TraceRecorder() if arguments.trace_out else None
+    metrics = None
+    if arguments.metrics_out:
+        window = (arguments.window_ms * 1e-3
+                  if arguments.window_ms is not None else 1.0)
+        metrics = MetricsCollector(window_seconds=window,
+                                   percentiles=percentiles)
+    progress = None if arguments.quiet else Progress(label="serve")
+    if trace is None and metrics is None and progress is None:
+        return None
+    return Observability(trace=trace, metrics=metrics, progress=progress)
+
+
+def _write_observability(arguments: argparse.Namespace,
+                         obs: Observability | None) -> int | None:
+    """Write --trace-out / --metrics-out files; an exit code on failure."""
+
+    if obs is None:
+        return None
+    try:
+        if arguments.trace_out:
+            write_chrome_trace(obs.trace, arguments.trace_out)
+        if arguments.metrics_out:
+            write_prometheus(obs.metrics, arguments.metrics_out)
+    except OSError as error:
+        return _fail(f"cannot write observability output: {error}")
+    return None
+
+
 def _peak_concurrent_replicas(report) -> int:
     """Most replicas alive at once — the honest static-fleet baseline (a
     scale-up/drain/scale-up run provisions more replicas in total than it
@@ -539,7 +616,7 @@ def _peak_concurrent_replicas(report) -> int:
 
 
 def _command_serve_llm(arguments: argparse.Namespace, traffic,
-                       percentiles) -> int:
+                       percentiles, obs=None) -> int:
     """The ``serve --llm`` leg: route into the autoregressive simulator."""
 
     disaggregated = arguments.prefill_fleet or arguments.decode_fleet
@@ -561,11 +638,14 @@ def _command_serve_llm(arguments: argparse.Namespace, traffic,
             ttft_slo_seconds=arguments.ttft_slo_ms * 1e-3,
             tpot_slo_seconds=arguments.tpot_slo_ms * 1e-3,
             slo_seconds=(arguments.slo_ms or 1000.0) * 1e-3,
-            percentiles=percentiles)
+            percentiles=percentiles, obs=obs)
     except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
             TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
+    failure = _write_observability(arguments, obs)
+    if failure is not None:
+        return failure
     if arguments.json:
         print(report.to_json())
         return 0
@@ -624,8 +704,9 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         traffic = make_traffic(arguments.traffic, arguments.rate, models,
                                weights, period=arguments.period, trace=trace,
                                tokens=tokens)
+        obs = _build_observability(arguments, percentiles)
         if arguments.llm:
-            return _command_serve_llm(arguments, traffic, percentiles)
+            return _command_serve_llm(arguments, traffic, percentiles, obs)
         autoscaler = None
         if arguments.autoscale:
             unit = arguments.scale_unit or \
@@ -647,10 +728,14 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
             autoscaler=autoscaler, percentiles=percentiles,
             window_seconds=(None if arguments.window_ms is None
-                            else arguments.window_ms * 1e-3))
+                            else arguments.window_ms * 1e-3),
+            obs=obs)
     except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
+    failure = _write_observability(arguments, obs)
+    if failure is not None:
+        return failure
     if arguments.json:
         print(report.to_json())
         return 0
@@ -682,6 +767,14 @@ def _command_serve(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_progress(arguments: argparse.Namespace):
+    """Milestone callback for the planners, or None under --quiet."""
+
+    if arguments.quiet:
+        return None
+    return Progress(label="plan").step
+
+
 def _command_plan_llm(arguments: argparse.Namespace, model: str,
                       target: str) -> int:
     """The ``plan --llm`` leg: size disaggregated prefill/decode pools."""
@@ -700,7 +793,8 @@ def _command_plan_llm(arguments: argparse.Namespace, model: str,
             step_overhead_seconds=arguments.step_overhead_ms * 1e-3,
             handoff_seconds=arguments.handoff_ms * 1e-3,
             max_replicas=arguments.max_replicas, top_k=arguments.top_k,
-            seed=arguments.seed, cache=_make_cache(arguments))
+            seed=arguments.seed, cache=_make_cache(arguments),
+            progress=_plan_progress(arguments))
     except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
             TypeError) as error:
         message = error.args[0] if error.args else error
@@ -771,7 +865,8 @@ def _command_plan(arguments: argparse.Namespace) -> int:
             policy=arguments.policy, batch_size=arguments.batch,
             timeout=arguments.timeout_ms * 1e-3,
             dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
-            seed=arguments.seed, cache=_make_cache(arguments))
+            seed=arguments.seed, cache=_make_cache(arguments),
+            progress=_plan_progress(arguments))
     except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
@@ -808,6 +903,21 @@ def _command_plan(arguments: argparse.Namespace) -> int:
     print(f"\n{len(payload['validated'])} of {payload['evaluated']} candidates "
           f"validated in simulation (objectives: "
           f"{', '.join(payload['objectives'])})")
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    """``repro trace summarize``: critical-path breakdown of a trace file."""
+
+    try:
+        trace = load_trace(arguments.trace_file)
+        payload = summarize_trace(trace)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        return _fail(f"cannot summarize {arguments.trace_file!r}: {error}")
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_summary(payload))
     return 0
 
 
@@ -855,6 +965,7 @@ def _command_accelerate(arguments: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     arguments = _build_parser().parse_args(argv)
+    configure_logging(arguments.log_level)
     if arguments.command == "list":
         return _command_list()
     if arguments.command == "workloads":
@@ -875,6 +986,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_serve(arguments)
     if arguments.command == "plan":
         return _command_plan(arguments)
+    if arguments.command == "trace":
+        return _command_trace(arguments)
     if arguments.command == "accelerate":
         return _command_accelerate(arguments)
     return 1

@@ -1,0 +1,29 @@
+"""Logging setup for the ``repro`` CLI.
+
+Modules log through the stdlib ``logging`` module under the ``repro.*``
+namespace (``logging.getLogger(__name__)``); nothing is emitted until
+:func:`configure_logging` installs a handler, so library users who never
+call it see the stdlib default (warnings and up to stderr, unformatted).
+The CLI wires ``repro --log-level debug`` to this — debug level narrates
+dispatch and autoscaling decisions.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: str = "warning", stream=None) -> None:
+    """Install the root handler at ``level`` (one of :data:`LOG_LEVELS`)."""
+
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"expected one of {', '.join(LOG_LEVELS)}")
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        stream=stream,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+        force=True)

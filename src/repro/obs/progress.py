@@ -1,0 +1,85 @@
+"""Stderr progress reporting for long simulator and planner runs.
+
+The simulator calls :meth:`Progress.tick` once per event-loop iteration, so
+the hot path must be nearly free: a bitmask gate skips 63 of every 64 calls
+before any clock is read, and a monotonic throttle caps actual writes.  On a
+TTY the line redraws in place; piped to a file it degrades to sparse
+newline-terminated lines so logs stay readable.  The planner uses
+:meth:`step`, which always writes one line per milestone.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class Progress:
+    """Throttled progress lines on stderr (or any stream)."""
+
+    def __init__(self, label: str = "serve", stream=None,
+                 min_interval: float = 0.5):
+        self._label = label
+        self._stream = stream
+        self._min_interval = min_interval
+        self._count = 0
+        self._last_emit = time.monotonic()
+        self._dirty = False
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    @property
+    def events(self) -> int:
+        return self._count
+
+    def begin(self, label: str) -> None:
+        self._label = label
+        self._count = 0
+        self._last_emit = time.monotonic()
+
+    def tick(self, simulated_time: float) -> None:
+        """Called per simulator event; cheap enough for the hot loop.
+
+        ``min_interval=0`` emits every 64th event unconditionally (the
+        deterministic mode the tests use); otherwise a TTY redraws every
+        ``min_interval`` seconds and a pipe gets a sparse line every couple
+        of seconds at most.
+        """
+
+        self._count += 1
+        if self._count & 63:
+            return
+        if self._min_interval > 0:
+            now = time.monotonic()
+            interval = (self._min_interval if self.stream.isatty()
+                        else max(self._min_interval, 2.0))
+            if now - self._last_emit < interval:
+                return
+            self._last_emit = now
+        self._emit(f"{self._label}: {self._count} events, "
+                   f"t={simulated_time:.2f}s")
+
+    def step(self, message: str) -> None:
+        """One always-emitted milestone line (planner progress)."""
+
+        if self._dirty:
+            self.stream.write("\r\x1b[2K")
+            self._dirty = False
+        self.stream.write(f"{self._label}: {message}\n")
+        self.stream.flush()
+
+    def _emit(self, text: str) -> None:
+        if self.stream.isatty():
+            self.stream.write(f"\r\x1b[2K{text}")
+            self._dirty = True
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        if self._dirty:
+            self.stream.write("\r\x1b[2K")
+            self.stream.flush()
+            self._dirty = False

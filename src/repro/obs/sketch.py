@@ -1,0 +1,158 @@
+"""Streaming quantile estimation: the P² sketch behind ``LatencySummary``.
+
+The serving reports compute nearest-rank percentiles over the full latency
+sample — exact, but O(n) memory, which is the wall the ROADMAP's
+million-request item runs into.  :class:`P2Quantile` is Jain & Chlamtac's
+P² algorithm: one quantile tracked with five markers in O(1) memory and O(1)
+update time, exact until five observations arrive and a piecewise-parabolic
+estimate afterwards.  :class:`StreamingLatency` bundles one sketch per
+requested percentile plus exact count/mean/max and folds down to the same
+:class:`~repro.serve.metrics.LatencySummary` the batch path produces, so a
+future ``serve()`` can swap the latency lists for sketches without changing
+a single report consumer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.serve.metrics import (
+    DEFAULT_PERCENTILES,
+    LatencySummary,
+    percentile_label,
+)
+
+
+class P2Quantile:
+    """One streaming quantile in O(1) memory (Jain & Chlamtac 1985).
+
+    Five markers track the minimum, the quantile and the points halfway to
+    each extreme; marker heights move by a piecewise-parabolic (P²) fit as
+    observations arrive.  Updates are deterministic — the same value stream
+    always yields the same estimate — which keeps traced runs bit-exact.
+    """
+
+    __slots__ = ("fraction", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        self.fraction = fraction
+        self._heights: list[float] = []          # marker heights q_i
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * fraction, 1.0 + 4.0 * fraction,
+                         3.0 + 2.0 * fraction, 5.0]
+        self._rates = [0.0, fraction / 2.0, fraction,
+                       (1.0 + fraction) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return (len(self._heights) if len(self._heights) < 5
+                else int(self._positions[4]))
+
+    def add(self, value: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._rates[index]
+        for index in (1, 2, 3):
+            drift = self._desired[index] - positions[index]
+            step_up = positions[index + 1] - positions[index]
+            step_down = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and step_up > 1.0) or (drift <= -1.0 and step_down < -1.0):
+                sign = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, sign)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:                            # parabola escaped: go linear
+                    heights[index] = self._linear(index, sign)
+                positions[index] += sign
+
+    def _parabolic(self, index: int, sign: float) -> float:
+        q, n = self._heights, self._positions
+        return q[index] + sign / (n[index + 1] - n[index - 1]) * (
+            (n[index] - n[index - 1] + sign)
+            * (q[index + 1] - q[index]) / (n[index + 1] - n[index])
+            + (n[index + 1] - n[index] - sign)
+            * (q[index] - q[index - 1]) / (n[index] - n[index - 1]))
+
+    def _linear(self, index: int, sign: float) -> float:
+        q, n = self._heights, self._positions
+        step = int(sign)
+        return q[index] + sign * (q[index + step] - q[index]) / (n[index + step] - n[index])
+
+    @property
+    def value(self) -> float:
+        """The current estimate (exact order statistic below five samples)."""
+
+        heights = self._heights
+        if not heights:
+            return 0.0
+        if len(heights) < 5:
+            # Nearest-rank on the exact sample, matching metrics.percentile.
+            rank = math.ceil(self.fraction * len(heights))
+            return heights[max(0, min(len(heights), rank) - 1)]
+        return heights[2]
+
+
+class StreamingLatency:
+    """Bounded-memory counterpart of :meth:`LatencySummary.of`.
+
+    Feeds every requested percentile's :class:`P2Quantile` plus exact
+    count/mean (Welford-free running sum is fine for latencies) and max, and
+    renders the same :class:`LatencySummary` shape the exact path produces —
+    estimates instead of order statistics, O(1) memory instead of O(n).
+    """
+
+    def __init__(self, percentiles: Sequence[float] = DEFAULT_PERCENTILES):
+        fractions = tuple(sorted(set(percentiles) | set(DEFAULT_PERCENTILES)))
+        self._sketches = {fraction: P2Quantile(fraction)
+                          for fraction in fractions}
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for sketch in self._sketches.values():
+            sketch.add(value)
+
+    def quantile(self, fraction: float) -> float:
+        return self._sketches[fraction].value
+
+    def summary(self) -> LatencySummary:
+        """Fold into the exact path's report type (same JSON keys)."""
+
+        extras = tuple(
+            (percentile_label(fraction), self._sketches[fraction].value)
+            for fraction in sorted(self._sketches)
+            if fraction not in DEFAULT_PERCENTILES)
+        if not self.count:
+            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0,
+                                  p99=0.0, max=0.0,
+                                  extras=tuple((label, 0.0)
+                                               for label, _ in extras))
+        return LatencySummary(
+            count=self.count, mean=self.total / self.count,
+            p50=self._sketches[0.5].value, p95=self._sketches[0.95].value,
+            p99=self._sketches[0.99].value, max=self.max, extras=extras)

@@ -1,0 +1,131 @@
+"""Chrome trace-event recording for serving runs.
+
+A :class:`TraceRecorder` collects trace events in the Chrome trace-event
+JSON format (the one Perfetto and ``chrome://tracing`` load): complete
+spans (``ph: "X"``), instants (``"i"``), counters (``"C"``) and metadata
+(``"M"``) naming processes and threads.  Simulated seconds map to trace
+microseconds as plain floats — the format allows fractional timestamps,
+and keeping the full double precision is what lets per-request phase
+spans sum exactly to the report's request latency.
+
+Track layout (see :mod:`repro.obs.hooks` for who emits what):
+
+* pid :data:`PID_FLEET` ("fleet") — one thread per replica carrying its
+  busy spans (batches, prefill chunks, decode steps), plus thread 0 for
+  autoscaler instants.
+* pid :data:`PID_REQUESTS` ("requests") — one thread per request index
+  carrying that request's phase spans, colored by phase.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Chrome trace process ids — one synthetic "process" per track family.
+PID_FLEET = 1
+PID_REQUESTS = 2
+#: Thread id carrying autoscaler instants inside the fleet process
+#: (replica threads are ``replica.index + 1``).
+TID_AUTOSCALER = 0
+
+#: Request lifecycle phases, in critical-path order.  ``queue`` and
+#: ``service`` partition a classic request's latency; ``queue``,
+#: ``prefill``, ``handoff``, ``decode-wait`` and ``decode`` partition an
+#: LLM request's.
+PHASE_QUEUE = "queue"
+PHASE_SERVICE = "service"
+PHASE_PREFILL = "prefill"
+PHASE_HANDOFF = "handoff"
+PHASE_DECODE_WAIT = "decode-wait"
+PHASE_DECODE = "decode"
+PHASES = (PHASE_QUEUE, PHASE_SERVICE, PHASE_PREFILL, PHASE_HANDOFF,
+          PHASE_DECODE_WAIT, PHASE_DECODE)
+
+#: Chrome reserved color names (``cname``) per phase — stable across loads,
+#: unlike the default name-hash coloring.
+PHASE_COLORS = {
+    PHASE_QUEUE: "grey",
+    PHASE_SERVICE: "thread_state_running",
+    PHASE_PREFILL: "thread_state_running",
+    PHASE_HANDOFF: "olive",
+    PHASE_DECODE_WAIT: "yellow",
+    PHASE_DECODE: "thread_state_runnable",
+}
+
+
+def _microseconds(seconds: float) -> float:
+    return seconds * 1e6
+
+
+class TraceRecorder:
+    """Accumulates Chrome trace events; export via :mod:`repro.obs.export`.
+
+    Events are appended in simulation order, so two runs with the same seed
+    produce identical event lists — the exporters keep that ordering, which
+    is what makes trace files byte-deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, object]] = []
+        self._process_names: dict[int, str] = {}
+        self._thread_names: dict[tuple[int, int], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def process(self, pid: int, name: str) -> None:
+        """Name a trace process (idempotent)."""
+
+        self._process_names.setdefault(pid, name)
+
+    def thread(self, pid: int, tid: int, name: str) -> None:
+        """Name a trace thread (idempotent)."""
+
+        self._thread_names.setdefault((pid, tid), name)
+
+    def span(self, name: str, *, start: float, end: float, pid: int, tid: int,
+             cat: str, args: Mapping[str, object] | None = None,
+             color: str | None = None) -> None:
+        """One complete ("X") span; ``start``/``end`` in simulated seconds."""
+
+        event: dict[str, object] = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": _microseconds(start), "dur": _microseconds(end - start),
+            "pid": pid, "tid": tid}
+        if color is not None:
+            event["cname"] = color
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def instant(self, name: str, *, ts: float, pid: int, tid: int, cat: str,
+                args: Mapping[str, object] | None = None) -> None:
+        """One instant ("i") event at ``ts`` simulated seconds."""
+
+        event: dict[str, object] = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": _microseconds(ts), "pid": pid, "tid": tid}
+        if args:
+            event["args"] = dict(args)
+        self._events.append(event)
+
+    def counter(self, name: str, *, ts: float, pid: int, tid: int = 0,
+                values: Mapping[str, float] | None = None) -> None:
+        """One counter ("C") sample — Perfetto renders these as track graphs."""
+
+        self._events.append({
+            "name": name, "ph": "C", "ts": _microseconds(ts),
+            "pid": pid, "tid": tid, "args": dict(values or {})})
+
+    def events(self) -> list[dict[str, object]]:
+        """Metadata (sorted by pid/tid, ts 0) followed by recorded events."""
+
+        metadata: list[dict[str, object]] = [
+            {"name": "process_name", "ph": "M", "ts": 0.0, "pid": pid,
+             "tid": 0, "args": {"name": name}}
+            for pid, name in sorted(self._process_names.items())]
+        metadata.extend(
+            {"name": "thread_name", "ph": "M", "ts": 0.0, "pid": pid,
+             "tid": tid, "args": {"name": name}}
+            for (pid, tid), name in sorted(self._thread_names.items()))
+        return metadata + self._events

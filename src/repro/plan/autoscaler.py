@@ -26,11 +26,14 @@ autoscaled runs stay bit-reproducible.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.serve.cluster import Fleet, Replica, ReplicaSpec
 from repro.serve.metrics import ScaleEvent
+
+logger = logging.getLogger(__name__)
 
 #: Policy names accepted by :func:`make_scale_policy` and the CLI.
 SCALE_POLICIES = ("utilization", "queue-depth", "scheduled")
@@ -190,14 +193,27 @@ class Autoscaler:
         self._events: list[ScaleEvent] = []
         self._pending = 0
         self._busy_snapshot: dict[Replica, float] = {}
+        self._observer = None
 
-    def begin(self, fleet: Fleet) -> None:
-        """Reset per-run state (the simulator calls this before the loop)."""
+    def begin(self, fleet: Fleet, observer=None) -> None:
+        """Reset per-run state (the simulator calls this before the loop).
+
+        ``observer`` (a :class:`repro.obs.Observability` or ``None``) gets a
+        ``scale_event`` call for every decision the run records.
+        """
 
         self._events = []
         self._pending = 0
         self._busy_snapshot = {replica: replica.busy_seconds
                                for replica in fleet.replicas}
+        self._observer = observer
+
+    def _record(self, event: ScaleEvent) -> None:
+        self._events.append(event)
+        if self._observer is not None:
+            self._observer.scale_event(event)
+        logger.debug("t=%.6f autoscale %s %s %s", event.time, event.action,
+                     event.replica or "-", event.detail)
 
     def observe(self, now: float, fleet: Fleet) -> ScaleState:
         """Fold the fleet into the :class:`ScaleState` the policy sees.
@@ -235,7 +251,7 @@ class Autoscaler:
         if desired > state.current:
             additions = desired - state.current
             self._pending += additions
-            self._events.append(ScaleEvent(
+            self._record(ScaleEvent(
                 now, "scale-up",
                 detail=f"utilization {state.utilization:.2f}, "
                        f"queued {state.queued}, desired {desired}"))
@@ -249,7 +265,7 @@ class Autoscaler:
             drained = victims[:state.active - desired]
             for replica in drained:
                 replica.active = False
-                self._events.append(ScaleEvent(
+                self._record(ScaleEvent(
                     now, "drain", replica.name,
                     detail=f"utilization {state.utilization:.2f}, "
                            f"desired {desired}"))
@@ -262,7 +278,7 @@ class Autoscaler:
         self._pending -= 1
         replica = fleet.add_replica(self.unit, now)
         self._busy_snapshot[replica] = replica.busy_seconds
-        self._events.append(ScaleEvent(now, "online", replica.name))
+        self._record(ScaleEvent(now, "online", replica.name))
         return replica
 
     def collect_events(self, fleet: Fleet) -> tuple[ScaleEvent, ...]:

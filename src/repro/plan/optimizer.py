@@ -24,7 +24,8 @@ per candidate either way.
 
 from __future__ import annotations
 
-from typing import Sequence
+import logging
+from typing import Callable, Sequence
 
 from repro.engine import ResultCache, target_area_mm2
 from repro.serve.cluster import Fleet, ReplicaSpec
@@ -42,6 +43,16 @@ from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
 from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD, serve
 from repro.serve.traffic import PoissonTraffic, TrafficPattern, WorkloadMix
 from repro.plan.queueing import ServiceTimes, estimate_fleet, estimate_llm_pools
+
+logger = logging.getLogger(__name__)
+
+
+def _note(progress: Callable[[str], None] | None, message: str) -> None:
+    """One planner milestone: always logged, echoed to ``progress`` if set."""
+
+    logger.info("%s", message)
+    if progress is not None:
+        progress(message)
 
 
 def pareto_frontier(points: Sequence[dict], keys: Sequence[str]) -> list[dict]:
@@ -82,7 +93,9 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
                   dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
                   router: str = "least-loaded", seed: int = 0,
                   margin: float = 1.25,
-                  cache=None) -> dict[str, object]:
+                  cache=None,
+                  progress: Callable[[str], None] | None = None
+                  ) -> dict[str, object]:
     """Search for the cheapest fleet meeting the SLO; return the full payload.
 
     ``targets`` are replica kinds (``"vitality"``, ``"vitality[pe=32x32]"``,
@@ -92,7 +105,9 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
     analytic prune always models the mean ``rate``.  ``margin`` loosens the
     analytic prune (predicted percentile up to ``margin * slo``) so
     near-boundary fleets still reach validation.  Deterministic for a fixed
-    ``seed``: same arguments, bit-identical payload.
+    ``seed``: same arguments, bit-identical payload.  ``progress`` (a
+    one-string callable, e.g. :meth:`repro.obs.Progress.step`) receives a
+    milestone line per search stage.
     """
 
     if slo_seconds <= 0:
@@ -149,9 +164,14 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
 
     shortlist = sorted((candidate for candidate in candidates
                         if candidate["predicted_feasible"]), key=cost)[:top_k]
+    _note(progress, f"analytic prune: {len(candidates)} candidates, "
+                    f"{sum(1 for c in candidates if c['predicted_feasible'])} "
+                    f"feasible, validating {len(shortlist)}")
 
     validated = []
     for candidate in shortlist:
+        _note(progress, f"validating {candidate['fleet']} "
+                        f"({duration:.1f}s simulated)")
         # Validation shares the prune's engine cache: every (model, target,
         # batch) shape the analytic pass already simulated is free here (and
         # a --cache-dir DiskResultCache persists both phases).
@@ -177,6 +197,8 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
 
     attained = [candidate for candidate in validated if candidate["slo_attained"]]
     chosen = min(attained, key=cost) if attained else None
+    _note(progress, f"chosen: {chosen['fleet']}" if chosen is not None
+                    else "chosen: none (no validated fleet met the SLO)")
 
     boundary = None
     if chosen is not None and chosen["replicas"] > 1:
@@ -188,6 +210,7 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
                         ("fleet", f"{label}_ms", "slo_attained",
                          "slo_violation_rate", "throughput_rps")}
         else:
+            _note(progress, f"checking boundary fleet {smaller}")
             report = serve(traffic, smaller, policy=policy, router=router,
                            duration=duration, seed=seed,
                            slo_seconds=slo_seconds,
@@ -245,7 +268,9 @@ def plan_llm_capacity(rate: float, model: str, *,
                       max_replicas: int = 8, top_k: int = 3,
                       traffic: TrafficPattern | None = None,
                       seed: int = 0, margin: float = 1.25,
-                      cache: ResultCache | None = None) -> dict[str, object]:
+                      cache: ResultCache | None = None,
+                      progress: Callable[[str], None] | None = None
+                      ) -> dict[str, object]:
     """Size a disaggregated LLM deployment against a TTFT+TPOT SLO pair.
 
     Enumerates every ``(prefill, decode)`` replica split of a single
@@ -314,6 +339,9 @@ def plan_llm_capacity(rate: float, model: str, *,
 
     shortlist = sorted((candidate for candidate in candidates
                         if candidate["predicted_feasible"]), key=cost)[:top_k]
+    _note(progress, f"analytic prune: {len(candidates)} splits, "
+                    f"{sum(1 for c in candidates if c['predicted_feasible'])} "
+                    f"feasible, validating {len(shortlist)}")
 
     def measure(report) -> dict[str, object]:
         return {
@@ -330,6 +358,9 @@ def plan_llm_capacity(rate: float, model: str, *,
 
     validated = []
     for candidate in shortlist:
+        _note(progress, f"validating {candidate['prefill_fleet']} + "
+                        f"{candidate['decode_fleet']} "
+                        f"({duration:.1f}s simulated)")
         report = serve_llm(
             traffic, prefill_fleet=candidate["prefill_fleet"],
             decode_fleet=candidate["decode_fleet"], duration=duration,
@@ -361,9 +392,15 @@ def plan_llm_capacity(rate: float, model: str, *,
     attained = [candidate for candidate in validated
                 if candidate["slo_attained"]]
     chosen = min(attained, key=cost) if attained else None
+    _note(progress,
+          f"chosen: {chosen['prefill_fleet']} + {chosen['decode_fleet']}"
+          if chosen is not None
+          else "chosen: none (no validated split met the SLOs)")
 
     colocated_reference = None
     if chosen is not None:
+        _note(progress, f"measuring colocated reference "
+                        f"{chosen['replicas']}x{target}")
         report = serve_llm(
             traffic, fleet=f"{chosen['replicas']}x{target}",
             duration=duration, seed=seed, prompt_tokens=prompt_tokens,

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import math
 from collections import deque
 from dataclasses import dataclass
@@ -64,6 +65,8 @@ from repro.serve.metrics import (
 from repro.serve.simulator import DEFAULT_CACHE_ENTRIES
 from repro.serve.traffic import Request, TrafficPattern
 from repro.workloads import get_family
+
+logger = logging.getLogger(__name__)
 
 #: Scheduler names accepted by :func:`serve_llm` and the CLI.
 SCHEDULERS = ("continuous", "monolithic")
@@ -309,7 +312,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
               tpot_slo_seconds: float = DEFAULT_TPOT_SLO,
               slo_seconds: float = DEFAULT_LLM_SLO,
               percentiles: Sequence[float] = DEFAULT_PERCENTILES,
-              cache: ResultCache | None = None) -> ServeReport:
+              cache: ResultCache | None = None,
+              obs=None) -> ServeReport:
     """Run one LLM-serving simulation and return its :class:`ServeReport`.
 
     Pass ``fleet`` for a colocated deployment (every replica serves both
@@ -325,6 +329,10 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
     largest relevant replica raises ``ValueError`` up front; one that fits
     only when capacity frees simply queues.  The report's ``ttft`` / ``tpot``
     summaries and ``llm`` block carry the phase-level results.
+
+    ``obs`` (a :class:`repro.obs.Observability`) attaches tracing, streaming
+    metrics and/or progress reporting; hooks are pure observers and
+    ``obs=None`` skips them all, so reports stay bit-identical either way.
     """
 
     disaggregated = prefill_fleet is not None or decode_fleet is not None
@@ -409,6 +417,12 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
                 f"{request.reserved_tokens} KV tokens for decode admission "
                 f"but the largest decode replica holds {decode_cap}")
 
+    if obs is not None:
+        obs.begin_run(all_replicas, "serve-llm")
+    logger.info("serve_llm: %d arrivals over %.3fs, scheduler=%s, "
+                "%d replica(s)%s", len(requests), duration, scheduler,
+                len(all_replicas), " (disaggregated)" if disaggregated else "")
+
     sequence = itertools.count()
     events: list[tuple[float, int, str, object]] = []
     for request in requests:
@@ -433,6 +447,10 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         replica.batches += 1
         heapq.heappush(events, (finish, next(sequence), "chunk",
                                 (replica, request, chunk)))
+        if obs is not None:
+            obs.prefill_chunk(replica, request, now, finish, chunk)
+        logger.debug("t=%.6f %s: prefill chunk of %d tokens for request %d",
+                     now, replica.name, chunk, request.index)
 
     def run_decode_step(replica: LLMReplica, now: float) -> None:
         batch = tuple(replica.batch)
@@ -452,6 +470,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         replica.batches += 1
         replica.decode_steps += 1
         heapq.heappush(events, (finish, next(sequence), "step", (replica, batch)))
+        if obs is not None:
+            obs.decode_step(replica, batch, now, finish)
 
     def run_gang_step(replica: LLMReplica, now: float) -> None:
         gang = tuple(replica.gang)
@@ -473,6 +493,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         replica.batches += 1
         replica.decode_steps += 1
         heapq.heappush(events, (finish, next(sequence), "gang", (replica, gang)))
+        if obs is not None:
+            obs.decode_step(replica, gang, now, finish)
 
     def record_completion(request: LLMRequest, replica: LLMReplica,
                           now: float, batch_size: int) -> None:
@@ -482,8 +504,10 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             index=request.index, model=request.model, arrival=request.arrival,
             replica=replica.name, batch_size=batch_size,
             dispatch=request.prefill_start, completion=now))
+        if obs is not None:
+            obs.request_completed(request, replica, now, batch_size)
 
-    def admit_ready(replica: LLMReplica) -> None:
+    def admit_ready(replica: LLMReplica, now: float) -> None:
         """Fold KV-admitted requests into the running batch (same model only —
         a decode step lowers to one engine shape)."""
 
@@ -496,6 +520,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             if len(replica.batch) < max_batch and request.model == model:
                 request.decode_batch = len(replica.batch) + 1
                 replica.batch.append(request)
+                if obs is not None:
+                    obs.decode_joined(request, replica, now)
             else:
                 kept.append(request)
         replica.decode_ready = kept
@@ -515,12 +541,16 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             pending_decode.popleft()
             replica.reserve(head.reserved_tokens)
             replica.decode_ready.append(head)
+            if obs is not None:
+                obs.decode_admitted(head, replica, now)
             kick(replica, now)
 
     def finish_prefill(replica: LLMReplica, request: LLMRequest,
                        now: float) -> None:
         request.first_token_time = now
         replica.current_prefill = None
+        if obs is not None:
+            obs.prefill_finished(request, replica, now)
         if disaggregated:
             replica.release(request.prompt_tokens)   # KV ships to the decode pool
             if request.decode_target == 0:
@@ -528,11 +558,15 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             else:
                 heapq.heappush(events, (now + handoff_seconds, next(sequence),
                                         "handoff", request))
+                if obs is not None:
+                    obs.handoff(request, replica, now, now + handoff_seconds)
         elif request.decode_target == 0:
             replica.release(request.reserved_tokens)
             record_completion(request, replica, now, batch_size=1)
         else:
             replica.decode_ready.append(request)
+            if obs is not None:
+                obs.decode_pending(request, now)
 
     def form_gang(replica: LLMReplica, now: float) -> None:
         while (replica.prefill_queue and len(replica.gang) < max_batch
@@ -541,6 +575,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             replica.reserve(request.reserved_tokens)
             request.prefill_start = now
             replica.gang.append(request)
+            if obs is not None:
+                obs.prefill_admitted(request, replica, now)
         replica.gang_steps_left = -1        # set once every prefill completes
 
     def kick_monolithic(replica: LLMReplica, now: float) -> None:
@@ -581,7 +617,7 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         if scheduler == "monolithic":
             kick_monolithic(replica, now)
             return
-        admit_ready(replica)
+        admit_ready(replica, now)
         if replica.role != ROLE_DECODE:
             if replica.current_prefill is None and replica.prefill_queue:
                 head = replica.prefill_queue[0]
@@ -592,6 +628,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
                     replica.reserve(need)
                     head.prefill_start = now
                     replica.current_prefill = head
+                    if obs is not None:
+                        obs.prefill_admitted(head, replica, now)
             # Prefill-priority: new prompts preempt the decode batch at the
             # iteration boundary — colocated TPOT pays for it, which is the
             # interference disaggregation exists to remove.
@@ -609,10 +647,16 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             replica = min(prefill_pool,
                           key=lambda r: (r.pending_load, r.index))
         replica.prefill_queue.append(request)
+        if obs is not None:
+            obs.request_routed(request, replica, now,
+                               len(replica.prefill_queue))
         kick(replica, now)
 
+    tick = obs.event_tick if obs is not None else None
     while events:
         now, _, kind, payload = heapq.heappop(events)
+        if tick is not None:
+            tick(now)
         if kind == "arrival":
             route_arrival(payload, now)
         elif kind == "chunk":
@@ -623,6 +667,8 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
                 if scheduler == "monolithic":
                     request.first_token_time = now
                     replica.current_prefill = None
+                    if obs is not None:
+                        obs.prefill_finished(request, replica, now)
                     if request.decode_target == 0:
                         request.completion = now    # recorded at gang retirement
                 else:
@@ -719,9 +765,16 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         "slo_attainment": (len(joint) / len(records) if records else 1.0),
         "kv_bytes_per_token": bytes_per_token,
     }
-    return build_report(config, records, offered=len(requests),
-                        duration=duration, slo_seconds=slo_seconds,
-                        replicas=all_replicas, cache_stats=cache.stats(),
-                        percentiles=percentiles,
-                        ttft_values=ttft_values, tpot_values=tpot_values,
-                        llm=llm_block)
+    report = build_report(config, records, offered=len(requests),
+                          duration=duration, slo_seconds=slo_seconds,
+                          replicas=all_replicas, cache_stats=cache.stats(),
+                          percentiles=percentiles,
+                          ttft_values=ttft_values, tpot_values=tpot_values,
+                          llm=llm_block)
+    logger.info("serve_llm: completed %d/%d requests, %d tokens generated, "
+                "ttft p95 %.4fs", report.completed, report.offered,
+                total_generated,
+                report.ttft.p95 if report.ttft is not None else 0.0)
+    if obs is not None:
+        obs.end_run(report)
+    return report

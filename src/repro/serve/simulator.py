@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from typing import Sequence
 
 from repro.engine import ResultCache, RunSpec, simulate
@@ -52,6 +53,8 @@ from repro.serve.metrics import (
 )
 from repro.serve.traffic import TrafficPattern
 
+logger = logging.getLogger(__name__)
+
 #: Default host-side cost of dispatching one batch to a replica (seconds).
 DEFAULT_DISPATCH_OVERHEAD = 5e-4
 
@@ -70,7 +73,8 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
           cache: ResultCache | None = None,
           autoscaler=None,
           percentiles: Sequence[float] = DEFAULT_PERCENTILES,
-          window_seconds: float | None = None) -> ServeReport:
+          window_seconds: float | None = None,
+          obs=None) -> ServeReport:
     """Run one serving simulation and return its :class:`ServeReport`.
 
     ``fleet`` accepts a :class:`Fleet` or a spec string (``"2xvitality,1xgpu"``);
@@ -86,6 +90,11 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
     ``percentiles`` adds latency quantiles beyond p50/p95/p99 (``0.999`` for
     p99.9); ``window_seconds`` adds per-window throughput/tail/replica-count
     rows so scale events are visible over time.
+
+    ``obs`` (a :class:`repro.obs.Observability`) attaches tracing, streaming
+    metrics and/or progress reporting.  The hooks are pure observers: an
+    instrumented run returns a bit-identical report, and ``obs=None`` (the
+    default) skips every hook.
     """
 
     if isinstance(fleet, str):
@@ -103,8 +112,13 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         raise ValueError(f"window_seconds must be positive, got {window_seconds}")
     cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES) if cache is None else cache
     fleet.reset()
+    if obs is not None:
+        obs.begin_run(fleet.replicas, "serve")
 
     arrivals = traffic.arrivals(duration, seed)
+    logger.info("serve: %d arrivals over %.3fs on %s (policy=%s router=%s)",
+                len(arrivals), duration, fleet.describe(), policy.name,
+                router.name)
     records: list[RequestRecord] = []
 
     # Routing estimates are memoised outside the result cache: one engine
@@ -130,7 +144,7 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         heapq.heappush(events, (request.arrival, next(sequence), "arrival", request))
     remaining = len(arrivals)
     if autoscaler is not None:
-        autoscaler.begin(fleet)
+        autoscaler.begin(fleet, observer=obs)
         if autoscaler.interval <= duration:
             heapq.heappush(events, (autoscaler.interval, next(sequence), "scale", None))
 
@@ -166,18 +180,31 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
                               batch_size=len(batch), dispatch=now, completion=finish)
                 for request in batch)
             heapq.heappush(events, (finish, next(sequence), "free", replica))
+            if obs is not None:
+                obs.batch_dispatched(replica, batch, now, finish)
+            logger.debug("t=%.6f dispatch %s: %s x%d (service %.6fs, %d queued)",
+                         now, replica.name, batch[0].model, len(batch), service,
+                         len(replica.queue))
         if (not replica.active and replica.retired_at is None
                 and not replica.queue and replica.idle(now)):
             replica.retired_at = now
+            if obs is not None:
+                obs.replica_retired(replica, now)
+            logger.debug("t=%.6f retired %s", now, replica.name)
 
+    tick = obs.event_tick if obs is not None else None
     while events:
         now, _, kind, payload = heapq.heappop(events)
+        if tick is not None:
+            tick(now)
         if kind == "arrival":
             remaining -= 1
             candidates = fleet.active_replicas or fleet.replicas
             replica = router.choose(candidates, payload.model, now, estimate)
             replica.queue.append(payload)
             replica.queued_seconds += estimate(payload.model, replica).latency_seconds
+            if obs is not None:
+                obs.request_routed(payload, replica, now, len(replica.queue))
             dispatch(replica, now)
             if remaining == 0:
                 # Last arrival processed: policies holding out for bigger
@@ -218,10 +245,16 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
     if window_seconds is not None:
         config["window_seconds"] = window_seconds
     records.sort(key=lambda record: record.index)
-    return build_report(config, records, offered=len(arrivals), duration=duration,
-                        slo_seconds=slo_seconds, replicas=fleet.replicas,
-                        cache_stats=cache.stats(), percentiles=percentiles,
-                        scale_events=scale_events, window_seconds=window_seconds)
+    report = build_report(config, records, offered=len(arrivals), duration=duration,
+                          slo_seconds=slo_seconds, replicas=fleet.replicas,
+                          cache_stats=cache.stats(), percentiles=percentiles,
+                          scale_events=scale_events, window_seconds=window_seconds)
+    logger.info("serve: completed %d/%d requests, p99 %.4fs, throughput %.1f rps",
+                report.completed, report.offered, report.latency.p99,
+                report.throughput_rps)
+    if obs is not None:
+        obs.end_run(report)
+    return report
 
 
 def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
