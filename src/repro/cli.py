@@ -233,6 +233,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="autoscaler control period")
     srv.add_argument("--provision-ms", type=float, default=500.0,
                      help="delay before a scaled-up replica comes online")
+    srv.add_argument("--summary", default="exact",
+                     choices=("exact", "streaming"),
+                     help="report mode: exact per-request records, or "
+                          "bounded-memory streaming sketches for "
+                          "million-request runs")
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--json", action="store_true")
     srv.add_argument("--trace-out", metavar="FILE",
@@ -308,6 +313,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="batching window for the timeout policy")
     plan.add_argument("--overhead-ms", type=float, default=0.5,
                       help="host-side dispatch overhead per batch")
+    plan.add_argument("--jobs", type=int, metavar="N",
+                      help="validate shortlisted candidates across N "
+                           "processes")
     plan.add_argument("--seed", type=int, default=0)
     plan.add_argument("--json", action="store_true")
     plan.add_argument("--quiet", action="store_true",
@@ -638,7 +646,7 @@ def _command_serve_llm(arguments: argparse.Namespace, traffic,
             ttft_slo_seconds=arguments.ttft_slo_ms * 1e-3,
             tpot_slo_seconds=arguments.tpot_slo_ms * 1e-3,
             slo_seconds=(arguments.slo_ms or 1000.0) * 1e-3,
-            percentiles=percentiles, obs=obs)
+            percentiles=percentiles, summary=arguments.summary, obs=obs)
     except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
             TypeError) as error:
         message = error.args[0] if error.args else error
@@ -729,7 +737,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             autoscaler=autoscaler, percentiles=percentiles,
             window_seconds=(None if arguments.window_ms is None
                             else arguments.window_ms * 1e-3),
-            obs=obs)
+            summary=arguments.summary, obs=obs)
     except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))
@@ -794,7 +802,7 @@ def _command_plan_llm(arguments: argparse.Namespace, model: str,
             handoff_seconds=arguments.handoff_ms * 1e-3,
             max_replicas=arguments.max_replicas, top_k=arguments.top_k,
             seed=arguments.seed, cache=_make_cache(arguments),
-            progress=_plan_progress(arguments))
+            jobs=arguments.jobs, progress=_plan_progress(arguments))
     except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
             TypeError) as error:
         message = error.args[0] if error.args else error
@@ -866,7 +874,7 @@ def _command_plan(arguments: argparse.Namespace) -> int:
             timeout=arguments.timeout_ms * 1e-3,
             dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
             seed=arguments.seed, cache=_make_cache(arguments),
-            progress=_plan_progress(arguments))
+            jobs=arguments.jobs, progress=_plan_progress(arguments))
     except (UnknownTargetError, KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         return _fail(str(message))

@@ -10,9 +10,12 @@ this traffic?*  The search composes the layers below it:
 2. **Prune** with the analytic queueing model (:mod:`repro.plan.queueing`):
    unstable fleets and fleets whose predicted SLO-percentile latency exceeds
    the SLO by more than the safety ``margin`` are discarded in microseconds;
-3. **Validate** the ``top_k`` cheapest survivors with the discrete-event
-   simulator (:func:`repro.serve.serve`) under the real traffic pattern, and
-   check the *measured* percentile against the SLO;
+3. **Validate** the ``top_k`` best survivors — ranked analytic-first: the
+   Pareto boundary of the feasible set under (cost, predicted latency) goes
+   ahead of dominated survivors — with the discrete-event simulator
+   (:func:`repro.serve.serve`) under the real traffic pattern, and check the
+   *measured* percentile against the SLO.  ``jobs=N`` fans the validation
+   runs over a process pool;
 4. **Report** the chosen fleet (cheapest validated fleet meeting the SLO),
    the one-replica-smaller boundary fleet (evidence the choice is minimal),
    and the cost-vs-SLO-attainment Pareto frontier over everything validated.
@@ -25,6 +28,8 @@ per candidate either way.
 from __future__ import annotations
 
 import logging
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Callable, Sequence
 
 from repro.engine import ResultCache, target_area_mm2
@@ -81,6 +86,53 @@ def _kind_area(kind: str) -> float | None:
     return target_area_mm2(ReplicaSpec.parse(kind).target)
 
 
+def _rank_shortlist(feasible: Sequence[dict], keys: Sequence[str],
+                    cost: Callable[[dict], tuple], top_k: int) -> list[dict]:
+    """Analytic-first ranking: Pareto-boundary survivors (under minimisation
+    of ``keys``, typically cost and predicted latency) go ahead of dominated
+    ones; both groups are ordered by ``cost`` and the list is cut at
+    ``top_k``.  A dominated candidate — worse predicted latency at no lower
+    cost — only reaches the simulator once every boundary point has."""
+
+    boundary = pareto_frontier(list(feasible), keys) if feasible else []
+    boundary_ids = {id(candidate) for candidate in boundary}
+    dominated = [candidate for candidate in feasible
+                 if id(candidate) not in boundary_ids]
+    ranked = sorted(boundary, key=cost) + sorted(dominated, key=cost)
+    return ranked[:top_k]
+
+
+def _measure_fleet(candidate: dict, *, traffic, policy, router, duration,
+                   seed, slo_seconds, dispatch_overhead_seconds, percentiles,
+                   slo_percentile, label, cache=None) -> dict:
+    """Validate one ``plan_capacity`` candidate in the simulator.
+
+    Module-level so ``jobs=N`` can pickle it into worker processes; workers
+    run with their own fresh engine cache (``cache=None``), which changes the
+    parent's cache accounting but — caches being semantically transparent —
+    not a single measured figure.
+    """
+
+    report = serve(traffic, candidate["fleet"], policy=policy, router=router,
+                   duration=duration, seed=seed, slo_seconds=slo_seconds,
+                   dispatch_overhead_seconds=dispatch_overhead_seconds,
+                   percentiles=percentiles, cache=cache)
+    measured = report.latency.quantile(slo_percentile)
+    return {
+        "kind": candidate["kind"],
+        "replicas": candidate["replicas"],
+        "fleet": candidate["fleet"],
+        "area_mm2": candidate["area_mm2"],
+        f"predicted_{label}_ms": candidate[f"predicted_{label}_ms"],
+        f"{label}_ms": measured * 1e3,
+        "slo_attained": measured <= slo_seconds,
+        "slo_violation_rate": report.slo_violation_rate,
+        "throughput_rps": report.throughput_rps,
+        "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+        "replica_seconds": report.replica_seconds,
+    }
+
+
 def plan_capacity(rate: float, models: Sequence[str] | str, *,
                   slo_seconds: float, duration: float,
                   slo_percentile: float = 0.99,
@@ -93,7 +145,7 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
                   dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
                   router: str = "least-loaded", seed: int = 0,
                   margin: float = 1.25,
-                  cache=None,
+                  cache=None, jobs: int | None = None,
                   progress: Callable[[str], None] | None = None
                   ) -> dict[str, object]:
     """Search for the cheapest fleet meeting the SLO; return the full payload.
@@ -104,10 +156,14 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
     (bursty, diurnal, replay) to validate under different arrivals — the
     analytic prune always models the mean ``rate``.  ``margin`` loosens the
     analytic prune (predicted percentile up to ``margin * slo``) so
-    near-boundary fleets still reach validation.  Deterministic for a fixed
-    ``seed``: same arguments, bit-identical payload.  ``progress`` (a
-    one-string callable, e.g. :meth:`repro.obs.Progress.step`) receives a
-    milestone line per search stage.
+    near-boundary fleets still reach validation.  ``jobs`` > 1 fans the
+    validation simulations over a :class:`ProcessPoolExecutor`; every
+    measured figure is identical to the serial run (workers use their own
+    engine caches, so only the payload's ``cache`` accounting block
+    reflects the analytic phase alone).  Deterministic for a fixed ``seed``:
+    same arguments, bit-identical measurements.  ``progress`` (a one-string
+    callable, e.g. :meth:`repro.obs.Progress.step`) receives a milestone
+    line per search stage.
     """
 
     if slo_seconds <= 0:
@@ -162,38 +218,36 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
                 candidate["energy_per_request_mj"],
                 candidate["replicas"], candidate["kind"])
 
-    shortlist = sorted((candidate for candidate in candidates
-                        if candidate["predicted_feasible"]), key=cost)[:top_k]
+    feasible = [candidate for candidate in candidates
+                if candidate["predicted_feasible"]]
+    shortlist = _rank_shortlist(feasible,
+                                [cost_key, f"predicted_{label}_ms"],
+                                cost, top_k)
     _note(progress, f"analytic prune: {len(candidates)} candidates, "
-                    f"{sum(1 for c in candidates if c['predicted_feasible'])} "
-                    f"feasible, validating {len(shortlist)}")
+                    f"{len(feasible)} feasible, validating {len(shortlist)}")
 
-    validated = []
-    for candidate in shortlist:
-        _note(progress, f"validating {candidate['fleet']} "
-                        f"({duration:.1f}s simulated)")
-        # Validation shares the prune's engine cache: every (model, target,
-        # batch) shape the analytic pass already simulated is free here (and
-        # a --cache-dir DiskResultCache persists both phases).
-        report = serve(traffic, candidate["fleet"], policy=policy,
-                       router=router, duration=duration, seed=seed,
-                       slo_seconds=slo_seconds,
-                       dispatch_overhead_seconds=dispatch_overhead_seconds,
-                       percentiles=percentiles, cache=service_times.cache)
-        measured = report.latency.quantile(slo_percentile)
-        validated.append({
-            "kind": candidate["kind"],
-            "replicas": candidate["replicas"],
-            "fleet": candidate["fleet"],
-            "area_mm2": candidate["area_mm2"],
-            f"predicted_{label}_ms": candidate[f"predicted_{label}_ms"],
-            f"{label}_ms": measured * 1e3,
-            "slo_attained": measured <= slo_seconds,
-            "slo_violation_rate": report.slo_violation_rate,
-            "throughput_rps": report.throughput_rps,
-            "energy_per_request_mj": report.energy_per_request_joules * 1e3,
-            "replica_seconds": report.replica_seconds,
-        })
+    measure = partial(_measure_fleet, traffic=traffic, policy=policy,
+                      router=router, duration=duration, seed=seed,
+                      slo_seconds=slo_seconds,
+                      dispatch_overhead_seconds=dispatch_overhead_seconds,
+                      percentiles=percentiles, slo_percentile=slo_percentile,
+                      label=label)
+    if jobs is not None and jobs > 1 and len(shortlist) > 1:
+        workers = min(jobs, len(shortlist))
+        _note(progress, f"validating {len(shortlist)} fleets across "
+                        f"{workers} processes")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            validated = list(pool.map(measure, shortlist))
+    else:
+        validated = []
+        for candidate in shortlist:
+            _note(progress, f"validating {candidate['fleet']} "
+                            f"({duration:.1f}s simulated)")
+            # Serial validation shares the prune's engine cache: every
+            # (model, target, batch) shape the analytic pass already
+            # simulated is free here (and a --cache-dir DiskResultCache
+            # persists both phases).
+            validated.append(measure(candidate, cache=service_times.cache))
 
     attained = [candidate for candidate in validated if candidate["slo_attained"]]
     chosen = min(attained, key=cost) if attained else None
@@ -245,12 +299,67 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
         },
         "objectives": [cost_key, "slo_violation_rate"],
         "evaluated": len(candidates),
+        "simulated": len(validated),
         "candidates": candidates,
         "validated": validated,
         "chosen": chosen,
         "boundary": boundary,
         "pareto_frontier": frontier,
         "cache": service_times.cache.stats().to_dict(),
+    }
+
+
+def _llm_measurements(report, slo_percentile: float, label: str) -> dict:
+    """The measured figures shared by validation and colocated reference."""
+
+    return {
+        f"ttft_{label}_ms": report.ttft.quantile(slo_percentile) * 1e3,
+        f"tpot_{label}_ms": report.tpot.quantile(slo_percentile) * 1e3,
+        "ttft_attainment": report.llm["ttft_attainment"],
+        "tpot_attainment": report.llm["tpot_attainment"],
+        "slo_attainment": report.llm["slo_attainment"],
+        "decode_tokens_per_second": report.llm["decode_tokens_per_second"],
+        "throughput_rps": report.throughput_rps,
+        "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+    }
+
+
+def _measure_llm_split(candidate: dict, *, traffic, duration, seed,
+                       prompt_tokens, output_tokens, prefill_chunk,
+                       max_batch, kv, step_overhead_seconds, handoff_seconds,
+                       ttft_slo_seconds, tpot_slo_seconds, percentiles,
+                       slo_percentile, label, cache=None) -> dict:
+    """Validate one ``plan_llm_capacity`` split in the simulator.
+
+    Module-level so ``jobs=N`` can pickle it; same cache semantics as
+    :func:`_measure_fleet`.
+    """
+
+    report = serve_llm(
+        traffic, prefill_fleet=candidate["prefill_fleet"],
+        decode_fleet=candidate["decode_fleet"], duration=duration,
+        seed=seed, prompt_tokens=prompt_tokens,
+        output_tokens=output_tokens, prefill_chunk=prefill_chunk,
+        max_batch=max_batch, kv=kv,
+        step_overhead_seconds=step_overhead_seconds,
+        handoff_seconds=handoff_seconds,
+        ttft_slo_seconds=ttft_slo_seconds,
+        tpot_slo_seconds=tpot_slo_seconds,
+        percentiles=percentiles, cache=cache)
+    measured = _llm_measurements(report, slo_percentile, label)
+    attained = (measured[f"ttft_{label}_ms"] <= ttft_slo_seconds * 1e3
+                and measured[f"tpot_{label}_ms"] <= tpot_slo_seconds * 1e3)
+    return {
+        "prefill_fleet": candidate["prefill_fleet"],
+        "decode_fleet": candidate["decode_fleet"],
+        "replicas": candidate["replicas"],
+        "prefill_replicas": candidate["prefill_replicas"],
+        "decode_replicas": candidate["decode_replicas"],
+        "area_mm2": candidate["area_mm2"],
+        f"predicted_ttft_{label}_ms": candidate[f"predicted_ttft_{label}_ms"],
+        "predicted_tpot_ms": candidate["predicted_tpot_ms"],
+        "slo_attained": attained,
+        **measured,
     }
 
 
@@ -269,6 +378,7 @@ def plan_llm_capacity(rate: float, model: str, *,
                       traffic: TrafficPattern | None = None,
                       seed: int = 0, margin: float = 1.25,
                       cache: ResultCache | None = None,
+                      jobs: int | None = None,
                       progress: Callable[[str], None] | None = None
                       ) -> dict[str, object]:
     """Size a disaggregated LLM deployment against a TTFT+TPOT SLO pair.
@@ -279,7 +389,11 @@ def plan_llm_capacity(rate: float, model: str, *,
     both predicted phase percentiles within ``margin * slo``), validates the
     ``top_k`` cheapest survivors through :func:`repro.serve.serve_llm`, and
     picks the cheapest split whose *measured* TTFT and TPOT percentiles meet
-    their SLOs.  The payload also carries a ``colocated_reference``: the
+    their SLOs.  Survivors are ranked analytic-first (Pareto boundary under
+    replica count and predicted TTFT ahead of dominated splits) and
+    ``jobs`` > 1 fans the validation runs over a process pool, with the same
+    cache caveat as :func:`plan_capacity`.  The payload also carries a
+    ``colocated_reference``: the
     chosen split's total replica count run as one colocated continuous
     fleet, so the disaggregation benefit is visible in the same units.
     Deterministic for fixed arguments.
@@ -337,57 +451,37 @@ def plan_llm_capacity(rate: float, model: str, *,
                 else float("inf"),
                 candidate["decode_replicas"])
 
-    shortlist = sorted((candidate for candidate in candidates
-                        if candidate["predicted_feasible"]), key=cost)[:top_k]
+    feasible = [candidate for candidate in candidates
+                if candidate["predicted_feasible"]]
+    shortlist = _rank_shortlist(feasible,
+                                ["replicas", f"predicted_ttft_{label}_ms"],
+                                cost, top_k)
     _note(progress, f"analytic prune: {len(candidates)} splits, "
-                    f"{sum(1 for c in candidates if c['predicted_feasible'])} "
-                    f"feasible, validating {len(shortlist)}")
+                    f"{len(feasible)} feasible, validating {len(shortlist)}")
 
-    def measure(report) -> dict[str, object]:
-        return {
-            f"ttft_{label}_ms": report.ttft.quantile(slo_percentile) * 1e3,
-            f"tpot_{label}_ms": report.tpot.quantile(slo_percentile) * 1e3,
-            "ttft_attainment": report.llm["ttft_attainment"],
-            "tpot_attainment": report.llm["tpot_attainment"],
-            "slo_attainment": report.llm["slo_attainment"],
-            "decode_tokens_per_second":
-                report.llm["decode_tokens_per_second"],
-            "throughput_rps": report.throughput_rps,
-            "energy_per_request_mj": report.energy_per_request_joules * 1e3,
-        }
-
-    validated = []
-    for candidate in shortlist:
-        _note(progress, f"validating {candidate['prefill_fleet']} + "
-                        f"{candidate['decode_fleet']} "
-                        f"({duration:.1f}s simulated)")
-        report = serve_llm(
-            traffic, prefill_fleet=candidate["prefill_fleet"],
-            decode_fleet=candidate["decode_fleet"], duration=duration,
-            seed=seed, prompt_tokens=prompt_tokens,
-            output_tokens=output_tokens, prefill_chunk=prefill_chunk,
-            max_batch=max_batch, kv=kv,
-            step_overhead_seconds=step_overhead_seconds,
-            handoff_seconds=handoff_seconds,
-            ttft_slo_seconds=ttft_slo_seconds,
-            tpot_slo_seconds=tpot_slo_seconds,
-            percentiles=percentiles, cache=cache)
-        measured = measure(report)
-        attained = (measured[f"ttft_{label}_ms"] <= ttft_slo_seconds * 1e3
-                    and measured[f"tpot_{label}_ms"] <= tpot_slo_seconds * 1e3)
-        validated.append({
-            "prefill_fleet": candidate["prefill_fleet"],
-            "decode_fleet": candidate["decode_fleet"],
-            "replicas": candidate["replicas"],
-            "prefill_replicas": candidate["prefill_replicas"],
-            "decode_replicas": candidate["decode_replicas"],
-            "area_mm2": candidate["area_mm2"],
-            f"predicted_ttft_{label}_ms":
-                candidate[f"predicted_ttft_{label}_ms"],
-            "predicted_tpot_ms": candidate["predicted_tpot_ms"],
-            "slo_attained": attained,
-            **measured,
-        })
+    measure = partial(_measure_llm_split, traffic=traffic, duration=duration,
+                      seed=seed, prompt_tokens=prompt_tokens,
+                      output_tokens=output_tokens,
+                      prefill_chunk=prefill_chunk, max_batch=max_batch,
+                      kv=kv, step_overhead_seconds=step_overhead_seconds,
+                      handoff_seconds=handoff_seconds,
+                      ttft_slo_seconds=ttft_slo_seconds,
+                      tpot_slo_seconds=tpot_slo_seconds,
+                      percentiles=percentiles, slo_percentile=slo_percentile,
+                      label=label)
+    if jobs is not None and jobs > 1 and len(shortlist) > 1:
+        workers = min(jobs, len(shortlist))
+        _note(progress, f"validating {len(shortlist)} splits across "
+                        f"{workers} processes")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            validated = list(pool.map(measure, shortlist))
+    else:
+        validated = []
+        for candidate in shortlist:
+            _note(progress, f"validating {candidate['prefill_fleet']} + "
+                            f"{candidate['decode_fleet']} "
+                            f"({duration:.1f}s simulated)")
+            validated.append(measure(candidate, cache=cache))
 
     attained = [candidate for candidate in validated
                 if candidate["slo_attained"]]
@@ -410,7 +504,7 @@ def plan_llm_capacity(rate: float, model: str, *,
             ttft_slo_seconds=ttft_slo_seconds,
             tpot_slo_seconds=tpot_slo_seconds,
             percentiles=percentiles, cache=cache)
-        measured = measure(report)
+        measured = _llm_measurements(report, slo_percentile, label)
         colocated_reference = {
             "fleet": f"{chosen['replicas']}x{target}",
             "slo_attained":
@@ -435,6 +529,7 @@ def plan_llm_capacity(rate: float, model: str, *,
             "traffic": traffic.to_dict(),
         },
         "evaluated": len(candidates),
+        "simulated": len(validated),
         "candidates": candidates,
         "validated": validated,
         "chosen": chosen,

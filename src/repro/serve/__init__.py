@@ -45,6 +45,7 @@ from repro.serve.cluster import (
     Estimate,
     Fleet,
     LeastLoadedRouter,
+    LoadIndex,
     Replica,
     ReplicaSpec,
     Router,
@@ -68,6 +69,7 @@ from repro.serve.metrics import (
     DEFAULT_PERCENTILES,
     LatencySummary,
     ReplicaReport,
+    ReportAccumulator,
     RequestRecord,
     ScaleEvent,
     ServeReport,
@@ -80,6 +82,7 @@ from repro.serve.simulator import (
     DEFAULT_CACHE_ENTRIES,
     DEFAULT_DISPATCH_OVERHEAD,
     DEFAULT_SLO,
+    SUMMARY_MODES,
     compare,
     serve,
 )
@@ -94,6 +97,7 @@ from repro.serve.traffic import (
     TokenProfile,
     TrafficPattern,
     WorkloadMix,
+    iter_arrivals,
     make_traffic,
 )
 
@@ -122,16 +126,19 @@ __all__ = [
     "LLMRequest",
     "LatencySummary",
     "LeastLoadedRouter",
+    "LoadIndex",
     "PoissonTraffic",
     "ROUTERS",
     "Replica",
     "ReplicaReport",
+    "ReportAccumulator",
     "ReplicaSpec",
     "ReplayTraffic",
     "Request",
     "RequestRecord",
     "Router",
     "SCHEDULERS",
+    "SUMMARY_MODES",
     "ScaleEvent",
     "ServeReport",
     "SizeBatchPolicy",
@@ -143,6 +150,7 @@ __all__ = [
     "WindowReport",
     "WorkloadMix",
     "build_report",
+    "iter_arrivals",
     "compare",
     "make_policy",
     "make_router",

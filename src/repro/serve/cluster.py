@@ -21,6 +21,7 @@ simulation per (model, replica-kind) for the whole run.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, NamedTuple, Protocol, Sequence, runtime_checkable
@@ -86,13 +87,29 @@ class Replica:
         self.started_at = started_at
         self.queue: deque[Request] = deque()
         self.queued_seconds = 0.0                # estimated service time queued
-        self.active = True                       # accepting routed requests
+        self._fleet: "Fleet | None" = None       # owner, for active-set caching
+        self._active = True                      # accepting routed requests
         self.retired_at: float | None = None     # set once drained and idle
         self.busy_until = 0.0
         self.busy_seconds = 0.0
         self.energy_joules = 0.0
         self.batches = 0
         self.served = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether routers may place new requests here."""
+
+        return self._active
+
+    @active.setter
+    def active(self, value: bool) -> None:
+        # The autoscaler (and tests) toggle this attribute directly, so the
+        # setter is where the owning fleet learns its cached active set is
+        # stale — keeping ``fleet.active_replicas`` O(1) per arrival.
+        self._active = value
+        if self._fleet is not None:
+            self._fleet._invalidate_active()
 
     def reset(self) -> None:
         """Return to the pristine pre-run state (serve() calls this, so one
@@ -141,11 +158,14 @@ class Fleet:
             raise ValueError("a fleet needs at least one replica")
         self.replica_specs = tuple(specs)
         self._ordinals: dict[str, int] = {}
+        self._active_cache: tuple[Replica, ...] | None = None
         replicas = []
         for index, spec in enumerate(self.replica_specs):
             ordinal = self._ordinals.get(spec.label, 0)
             self._ordinals[spec.label] = ordinal + 1
-            replicas.append(Replica(index, ordinal, spec))
+            replica = Replica(index, ordinal, spec)
+            replica._fleet = self
+            replicas.append(replica)
         self.replicas = tuple(replicas)
         self._static_count = len(replicas)
 
@@ -175,9 +195,21 @@ class Fleet:
 
     @property
     def active_replicas(self) -> tuple[Replica, ...]:
-        """The replicas currently accepting routed requests."""
+        """The replicas currently accepting routed requests.
 
-        return tuple(replica for replica in self.replicas if replica.active)
+        Cached between activation changes (replica added, drained or reset),
+        so the per-arrival hot path costs one attribute read instead of an
+        O(fleet) tuple rebuild.
+        """
+
+        cached = self._active_cache
+        if cached is None:
+            cached = tuple(replica for replica in self.replicas if replica.active)
+            self._active_cache = cached
+        return cached
+
+    def _invalidate_active(self) -> None:
+        self._active_cache = None
 
     def add_replica(self, spec: ReplicaSpec, now: float) -> Replica:
         """Bring one more replica of ``spec`` online at time ``now``.
@@ -191,7 +223,9 @@ class Fleet:
         ordinal = self._ordinals.get(spec.label, 0)
         self._ordinals[spec.label] = ordinal + 1
         replica = Replica(len(self.replicas), ordinal, spec, started_at=now)
+        replica._fleet = self
         self.replicas = self.replicas + (replica,)
+        self._invalidate_active()
         return replica
 
     def reset(self) -> None:
@@ -199,6 +233,7 @@ class Fleet:
 
         self.replicas = self.replicas[:self._static_count]
         self._ordinals = {}
+        self._invalidate_active()
         for replica in self.replicas:
             self._ordinals[replica.spec.label] = \
                 self._ordinals.get(replica.spec.label, 0) + 1
@@ -250,13 +285,99 @@ class Router(Protocol):
 
 
 class LeastLoadedRouter:
-    """Route to the replica with the smallest backlog (ties: fleet order)."""
+    """Route to the replica with the smallest backlog (ties: fleet order).
+
+    ``choose`` is the O(fleet) reference scan; the simulator routes through a
+    :class:`LoadIndex` instead (``uses_load_index``), which maintains the same
+    argmin incrementally in O(log fleet) per routing/dispatch event.
+    """
 
     name = "least-loaded"
+    uses_load_index = True
 
     def choose(self, replicas: Sequence[Replica], model: str, now: float,
                estimate: Estimator) -> Replica:
         return min(replicas, key=lambda r: (r.backlog_seconds(now), r.index))
+
+
+class LoadIndex:
+    """Incremental argmin over replica backlogs for least-loaded routing.
+
+    ``backlog_seconds(now) = max(busy_until - now, 0) + queued_seconds`` is
+    time-dependent, but it only *changes shape* at events the simulator
+    already handles: route/dispatch/free mutate ``queued_seconds`` /
+    ``busy_until`` (and every future ``busy_until`` has a ``free`` event
+    scheduled at exactly that time), and scale events add or drain replicas.
+    Between events, busy replicas' backlogs all decay at the same unit rate
+    and idle replicas' backlogs are constant — so two lazy-deletion min-heaps
+    capture the order:
+
+    * *idle* replicas keyed by ``(queued_seconds, index)`` — their exact
+      backlog;
+    * *busy* replicas keyed by ``(busy_until + queued_seconds, index)`` — a
+      time-shifted proxy whose order matches the backlog order while every
+      entry's ``busy_until`` is in the future (guaranteed by the ``free``
+      events).
+
+    :meth:`argmin` compares the two heap tops with the *same* float
+    expression the reference linear scan uses, so the routed replica (and its
+    index tie-break) matches the scan bit-for-bit; within the busy heap the
+    proxy key can in principle reorder backlogs that agree to within a few
+    ulps, which the equivalence tests bound empirically.  Entries are
+    invalidated by stamp and re-pushed on update, the classic lazy-deletion
+    heap, so each event costs O(log live + stale).
+    """
+
+    def __init__(self, replicas: Sequence[Replica] = (), now: float = 0.0):
+        self._idle: list[tuple[float, int, int, Replica]] = []
+        self._busy: list[tuple[float, int, int, Replica]] = []
+        self._stamps: dict[int, int] = {}
+        self._members: set[int] = set()
+        for replica in replicas:
+            self.update(replica, now)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def update(self, replica: Replica, now: float) -> None:
+        """(Re-)index ``replica`` after its queue or busy window changed."""
+
+        stamp = self._stamps.get(replica.index, 0) + 1
+        self._stamps[replica.index] = stamp
+        self._members.add(replica.index)
+        if replica.busy_until > now:
+            heapq.heappush(self._busy, (replica.busy_until + replica.queued_seconds,
+                                        replica.index, stamp, replica))
+        else:
+            heapq.heappush(self._idle, (replica.queued_seconds,
+                                        replica.index, stamp, replica))
+
+    def remove(self, replica: Replica) -> None:
+        """Drop ``replica`` from routing (drained or retired)."""
+
+        if replica.index in self._members:
+            self._members.discard(replica.index)
+            self._stamps[replica.index] = self._stamps.get(replica.index, 0) + 1
+
+    def _peek(self, heap: list[tuple[float, int, int, Replica]]) -> Replica | None:
+        while heap:
+            _, index, stamp, replica = heap[0]
+            if index in self._members and self._stamps.get(index) == stamp:
+                return replica
+            heapq.heappop(heap)
+        return None
+
+    def argmin(self, now: float) -> Replica | None:
+        """The indexed replica minimising ``(backlog_seconds(now), index)``."""
+
+        idle = self._peek(self._idle)
+        busy = self._peek(self._busy)
+        if idle is None:
+            return busy
+        if busy is None:
+            return idle
+        return min((idle, busy),
+                   key=lambda r: (r.backlog_seconds(now), r.index))
 
 
 class EnergyAwareRouter:

@@ -58,12 +58,19 @@ from repro.engine import ResultCache, RunSpec, simulate, target_sram_kb
 from repro.serve.cluster import Fleet, ReplicaSpec
 from repro.serve.metrics import (
     DEFAULT_PERCENTILES,
+    ReportAccumulator,
     RequestRecord,
     ServeReport,
     build_report,
 )
-from repro.serve.simulator import DEFAULT_CACHE_ENTRIES
+from repro.serve.simulator import (
+    DEFAULT_CACHE_ENTRIES,
+    RUNTIME_SEQUENCE_BASE,
+    check_summary,
+)
 from repro.serve.traffic import Request, TrafficPattern
+from repro.serve.traffic import iter_arrivals as _iter_arrivals
+from repro.serve.traffic import traffic_models
 from repro.workloads import get_family
 
 logger = logging.getLogger(__name__)
@@ -313,6 +320,7 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
               slo_seconds: float = DEFAULT_LLM_SLO,
               percentiles: Sequence[float] = DEFAULT_PERCENTILES,
               cache: ResultCache | None = None,
+              summary: str = "exact",
               obs=None) -> ServeReport:
     """Run one LLM-serving simulation and return its :class:`ServeReport`.
 
@@ -329,6 +337,16 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
     largest relevant replica raises ``ValueError`` up front; one that fits
     only when capacity frees simply queues.  The report's ``ttft`` / ``tpot``
     summaries and ``llm`` block carry the phase-level results.
+
+    ``summary`` mirrors :func:`repro.serve.serve`: ``"exact"`` (default)
+    keeps per-request records and exact order statistics, bit-identical to
+    historical reports; ``"streaming"`` pulls arrivals lazily and folds each
+    completion into P² accumulators, bounding memory for arbitrarily long
+    runs.  Streaming mode sizes KV capacity from the models the *traffic
+    declares* (mix entries or trace models) rather than the models that
+    happened to arrive, and checks each request's KV feasibility when it is
+    generated instead of all up front — same ``ValueError``, raised at the
+    offending arrival.
 
     ``obs`` (a :class:`repro.obs.Observability`) attaches tracing, streaming
     metrics and/or progress reporting; hooks are pure observers and
@@ -362,18 +380,35 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         raise ValueError("step_overhead_seconds and handoff_seconds must be >= 0")
     if min(ttft_slo_seconds, tpot_slo_seconds, slo_seconds) <= 0:
         raise ValueError("SLOs must be positive")
+    check_summary(summary)
     kv = KVCacheConfig() if kv is None else kv
     cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES) if cache is None else cache
 
     def _parse(spec: Fleet | str) -> Fleet:
         return Fleet.parse(spec) if isinstance(spec, str) else spec
 
-    arrivals = traffic.arrivals(duration, seed)
-    requests = [LLMRequest(request,
-                           request.prompt_tokens or prompt_tokens,
-                           request.output_tokens or output_tokens)
-                for request in arrivals]
-    models = sorted({request.model for request in requests})
+    # Exact summaries need the full request list at the end (per-request
+    # records joined back to phase timings), so they materialise as before;
+    # streaming summaries pull arrivals lazily and take the model set from
+    # what the traffic declares.  Patterns that cannot declare their models
+    # fall back to materialising even when streaming.
+    requests: list[LLMRequest] | None = None
+    raw_stream = None
+    if summary == "streaming":
+        models = traffic_models(traffic)
+        if models is None:
+            raw_arrivals = traffic.arrivals(duration, seed)
+            models = sorted({request.model for request in raw_arrivals})
+            raw_stream = iter(raw_arrivals)
+        else:
+            raw_stream = _iter_arrivals(traffic, duration, seed)
+    else:
+        arrivals = traffic.arrivals(duration, seed)
+        requests = [LLMRequest(request,
+                               request.prompt_tokens or prompt_tokens,
+                               request.output_tokens or output_tokens)
+                    for request in arrivals]
+        models = sorted({request.model for request in requests})
     for model in models:
         _check_sequence_model(model)
     from repro.workloads import get_workload
@@ -399,11 +434,14 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
     else:
         prefill_pool = decode_pool = all_replicas = _pool(fleet, ROLE_UNIFIED, 0)
 
-    # Admission feasibility is checked up front so an impossible request is a
-    # clean construction-time error, not an event loop that never drains.
+    # Admission feasibility is checked per request so an impossible request is
+    # a clean ValueError, not an event loop that never drains.  Exact mode
+    # checks the whole trace up front (construction-time error); streaming
+    # mode checks each arrival as it is pulled from the generator.
     prefill_cap = max(replica.kv_capacity for replica in prefill_pool)
     decode_cap = max(replica.kv_capacity for replica in decode_pool)
-    for request in requests:
+
+    def check_admissible(request: LLMRequest) -> LLMRequest:
         need = request.prompt_tokens if disaggregated else request.reserved_tokens
         if need > prefill_cap:
             raise ValueError(
@@ -416,18 +454,52 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
                 f"request {request.index} ({request.model!r}) needs "
                 f"{request.reserved_tokens} KV tokens for decode admission "
                 f"but the largest decode replica holds {decode_cap}")
+        return request
+
+    if requests is not None:
+        for request in requests:
+            check_admissible(request)
 
     if obs is not None:
         obs.begin_run(all_replicas, "serve-llm")
-    logger.info("serve_llm: %d arrivals over %.3fs, scheduler=%s, "
-                "%d replica(s)%s", len(requests), duration, scheduler,
-                len(all_replicas), " (disaggregated)" if disaggregated else "")
+    logger.info("serve_llm: %s arrivals over %.3fs, scheduler=%s, "
+                "%d replica(s)%s",
+                "streaming" if requests is None else len(requests), duration,
+                scheduler, len(all_replicas),
+                " (disaggregated)" if disaggregated else "")
 
-    sequence = itertools.count()
+    # Arrival events take the request index as their tie-break sequence;
+    # runtime events (chunks, steps, gangs, handoffs) count from a disjoint
+    # range far above any realistic request count.  This reproduces the
+    # historical order (all arrivals pushed before any runtime event) without
+    # materialising the arrivals.
+    sequence = itertools.count(RUNTIME_SEQUENCE_BASE)
+    offered = 0
     events: list[tuple[float, int, str, object]] = []
-    for request in requests:
-        heapq.heappush(events, (request.arrival, next(sequence), "arrival", request))
+    if requests is not None:
+        offered = len(requests)
+        events = [(request.arrival, request.index, "arrival", request)
+                  for request in requests]
+        heapq.heapify(events)
+        next_llm_arrival = None
+    else:
+        def next_llm_arrival() -> LLMRequest | None:
+            raw = next(raw_stream, None)
+            if raw is None:
+                return None
+            return check_admissible(
+                LLMRequest(raw, raw.prompt_tokens or prompt_tokens,
+                           raw.output_tokens or output_tokens))
+        first = next_llm_arrival()
+        if first is not None:
+            events.append((first.arrival, first.index, "arrival", first))
     records: list[RequestRecord] = []
+    accumulator: ReportAccumulator | None = None
+    ttft_ok = tpot_ok = tpot_count = joint_ok = 0
+    if summary == "streaming":
+        accumulator = ReportAccumulator(slo_seconds=slo_seconds,
+                                        percentiles=percentiles,
+                                        track_ttft=True, track_tpot=True)
     pending_decode: deque[LLMRequest] = deque()     # disaggregated pool queue
     total_prefill_tokens = 0
     total_generated = 0
@@ -498,12 +570,31 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
 
     def record_completion(request: LLMRequest, replica: LLMReplica,
                           now: float, batch_size: int) -> None:
+        nonlocal ttft_ok, tpot_ok, tpot_count, joint_ok
         request.completion = now
         replica.served += 1
-        records.append(RequestRecord(
-            index=request.index, model=request.model, arrival=request.arrival,
-            replica=replica.name, batch_size=batch_size,
-            dispatch=request.prefill_start, completion=now))
+        if accumulator is not None:
+            accumulator.observe(request.model, request.arrival,
+                                request.prefill_start, now)
+            ttft = request.first_token_time - request.arrival
+            accumulator.ttft.add(ttft)
+            tpot = None
+            if request.decode_target:
+                tpot = (now - request.first_token_time) / request.decode_target
+                accumulator.tpot.add(tpot)
+                tpot_count += 1
+                if tpot <= tpot_slo_seconds:
+                    tpot_ok += 1
+            if ttft <= ttft_slo_seconds:
+                ttft_ok += 1
+                if tpot is None or tpot <= tpot_slo_seconds:
+                    joint_ok += 1
+        else:
+            records.append(RequestRecord(
+                index=request.index, model=request.model,
+                arrival=request.arrival, replica=replica.name,
+                batch_size=batch_size, dispatch=request.prefill_start,
+                completion=now))
         if obs is not None:
             obs.request_completed(request, replica, now, batch_size)
 
@@ -658,6 +749,12 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         if tick is not None:
             tick(now)
         if kind == "arrival":
+            if requests is None:
+                offered += 1
+                upcoming = next_llm_arrival()
+                if upcoming is not None:
+                    heapq.heappush(events, (upcoming.arrival, upcoming.index,
+                                            "arrival", upcoming))
             route_arrival(payload, now)
         elif kind == "chunk":
             replica, request, chunk = payload
@@ -704,27 +801,33 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
             pending_decode.append(payload)
             admit_decode_pool(now)
 
-    records.sort(key=lambda record: record.index)
-    by_index = {request.index: request for request in requests}
-    ttft_values = [by_index[record.index].first_token_time
-                   - by_index[record.index].arrival for record in records]
-    tpot_values = [(record.completion - by_index[record.index].first_token_time)
-                   / by_index[record.index].decode_target
-                   for record in records if by_index[record.index].decode_target]
-    makespan = max([duration] + [record.completion for record in records])
+    if requests is not None:
+        records.sort(key=lambda record: record.index)
+        by_index = {request.index: request for request in requests}
+        ttft_values = [by_index[record.index].first_token_time
+                       - by_index[record.index].arrival for record in records]
+        tpot_values = [(record.completion
+                        - by_index[record.index].first_token_time)
+                       / by_index[record.index].decode_target
+                       for record in records
+                       if by_index[record.index].decode_target]
+        makespan = max([duration] + [record.completion for record in records])
+        joint = [1 for record in records
+                 if by_index[record.index].first_token_time
+                 - by_index[record.index].arrival <= ttft_slo_seconds
+                 and (not by_index[record.index].decode_target
+                      or (record.completion
+                          - by_index[record.index].first_token_time)
+                      / by_index[record.index].decode_target
+                      <= tpot_slo_seconds)]
+    else:
+        makespan = max(duration, accumulator.last_completion)
     total_steps = sum(replica.decode_steps for replica in all_replicas)
 
     def attainment(values: Sequence[float], slo: float) -> float:
         if not values:
             return 1.0
         return sum(1 for value in values if value <= slo) / len(values)
-
-    joint = [1 for record in records
-             if by_index[record.index].first_token_time
-             - by_index[record.index].arrival <= ttft_slo_seconds
-             and (not by_index[record.index].decode_target
-                  or (record.completion - by_index[record.index].first_token_time)
-                  / by_index[record.index].decode_target <= tpot_slo_seconds)]
 
     config: dict[str, object] = {
         "traffic": traffic.to_dict(),
@@ -748,6 +851,18 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         config["handoff_seconds"] = handoff_seconds
     else:
         config["fleet"] = _parse(fleet).describe()
+    if summary != "exact":
+        config["summary"] = summary
+
+    if accumulator is not None:
+        completed = accumulator.latency.count
+        ttft_attainment = ttft_ok / completed if completed else 1.0
+        tpot_attainment = tpot_ok / tpot_count if tpot_count else 1.0
+        slo_attainment = joint_ok / completed if completed else 1.0
+    else:
+        ttft_attainment = attainment(ttft_values, ttft_slo_seconds)
+        tpot_attainment = attainment(tpot_values, tpot_slo_seconds)
+        slo_attainment = len(joint) / len(records) if records else 1.0
 
     llm_block: dict[str, object] = {
         "scheduler": scheduler,
@@ -760,17 +875,23 @@ def serve_llm(traffic: TrafficPattern, fleet: Fleet | str | None = None, *,
         "decode_tokens_per_second": total_generated / makespan,
         "ttft_slo_seconds": ttft_slo_seconds,
         "tpot_slo_seconds": tpot_slo_seconds,
-        "ttft_attainment": attainment(ttft_values, ttft_slo_seconds),
-        "tpot_attainment": attainment(tpot_values, tpot_slo_seconds),
-        "slo_attainment": (len(joint) / len(records) if records else 1.0),
+        "ttft_attainment": ttft_attainment,
+        "tpot_attainment": tpot_attainment,
+        "slo_attainment": slo_attainment,
         "kv_bytes_per_token": bytes_per_token,
     }
-    report = build_report(config, records, offered=len(requests),
-                          duration=duration, slo_seconds=slo_seconds,
-                          replicas=all_replicas, cache_stats=cache.stats(),
-                          percentiles=percentiles,
-                          ttft_values=ttft_values, tpot_values=tpot_values,
-                          llm=llm_block)
+    if accumulator is not None:
+        report = accumulator.finalize(config, offered=offered,
+                                      duration=duration, replicas=all_replicas,
+                                      cache_stats=cache.stats(), llm=llm_block)
+    else:
+        report = build_report(config, records, offered=offered,
+                              duration=duration, slo_seconds=slo_seconds,
+                              replicas=all_replicas, cache_stats=cache.stats(),
+                              percentiles=percentiles,
+                              ttft_values=ttft_values,
+                              tpot_values=tpot_values,
+                              llm=llm_block)
     logger.info("serve_llm: completed %d/%d requests, %d tokens generated, "
                 "ttft p95 %.4fs", report.completed, report.offered,
                 total_generated,

@@ -18,6 +18,18 @@ entries with a monotone tie-breaking sequence, and every random draw comes
 from the traffic pattern's seeded generator — so a (traffic, fleet, policy,
 router, duration, seed) tuple maps to one bit-exact :class:`ServeReport`.
 
+The loop *streams*: arrivals are pulled lazily from
+:meth:`~repro.serve.traffic.TrafficPattern.iter_arrivals` (the heap holds
+in-flight work plus exactly one future arrival, never the whole trace), and
+``summary="streaming"`` additionally folds completions into bounded-memory
+P² accumulators (:class:`~repro.serve.metrics.ReportAccumulator`) instead of
+keeping a record per request — making memory independent of request count.
+The default ``summary="exact"`` keeps the per-request records and
+nearest-rank order statistics, bit-identical to the pre-streaming reports.
+Arrival events are sequenced by request index and all runtime events from a
+disjoint higher range, so event ordering (ties included) is identical
+whether arrivals are prefetched lazily or were all pushed up front.
+
 Fleets may be *dynamic*: pass an ``autoscaler`` (see
 :mod:`repro.plan.autoscaler`) and the loop adds periodic ``"scale"`` control
 events — the policy decides a desired replica count, scale-ups come online
@@ -40,6 +52,7 @@ from repro.serve.batching import BatchPolicy, make_policy
 from repro.serve.cluster import (
     Estimate,
     Fleet,
+    LoadIndex,
     Replica,
     ReplicaSpec,
     Router,
@@ -47,11 +60,13 @@ from repro.serve.cluster import (
 )
 from repro.serve.metrics import (
     DEFAULT_PERCENTILES,
+    ReportAccumulator,
     RequestRecord,
     ServeReport,
     build_report,
 )
 from repro.serve.traffic import TrafficPattern
+from repro.serve.traffic import iter_arrivals as _iter_arrivals
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +79,24 @@ DEFAULT_SLO = 0.05
 #: Default LRU bound of the per-run engine result cache.
 DEFAULT_CACHE_ENTRIES = 1024
 
+#: Report summary modes: ``"exact"`` keeps per-request records (nearest-rank
+#: percentiles, O(requests) memory); ``"streaming"`` folds completions into
+#: P² sketches (bounded memory, estimated quantiles).
+SUMMARY_MODES = ("exact", "streaming")
+
+#: Runtime (non-arrival) events sequence from this base, far above any
+#: realistic arrival index — arrival ties thus always beat runtime ties, the
+#: exact ordering the historical push-everything-up-front loop produced.
+RUNTIME_SEQUENCE_BASE = 2 ** 62
+
+
+def check_summary(summary: str) -> None:
+    """Reject unknown summary modes up front (shared with :func:`serve_llm`)."""
+
+    if summary not in SUMMARY_MODES:
+        raise ValueError(f"summary must be one of {SUMMARY_MODES}, "
+                         f"got {summary!r}")
+
 
 def serve(traffic: TrafficPattern, fleet: Fleet | str,
           policy: BatchPolicy | str = "timeout", router: Router | str = "least-loaded",
@@ -74,6 +107,7 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
           autoscaler=None,
           percentiles: Sequence[float] = DEFAULT_PERCENTILES,
           window_seconds: float | None = None,
+          summary: str = "exact",
           obs=None) -> ServeReport:
     """Run one serving simulation and return its :class:`ServeReport`.
 
@@ -90,6 +124,14 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
     ``percentiles`` adds latency quantiles beyond p50/p95/p99 (``0.999`` for
     p99.9); ``window_seconds`` adds per-window throughput/tail/replica-count
     rows so scale events are visible over time.
+
+    ``summary`` selects the reporting fold: ``"exact"`` (default) keeps one
+    record per request and reports exact nearest-rank percentiles —
+    bit-identical to historical reports; ``"streaming"`` folds completions
+    into P² sketches as they happen, bounding memory at
+    O(replicas + models + windows + percentiles) for arbitrarily long runs
+    (quantiles become estimates — see
+    :class:`~repro.serve.metrics.ReportAccumulator` for the error envelope).
 
     ``obs`` (a :class:`repro.obs.Observability`) attaches tracing, streaming
     metrics and/or progress reporting.  The hooks are pure observers: an
@@ -110,16 +152,21 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
     if window_seconds is not None and window_seconds <= 0:
         raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+    check_summary(summary)
     cache = ResultCache(max_entries=DEFAULT_CACHE_ENTRIES) if cache is None else cache
     fleet.reset()
     if obs is not None:
         obs.begin_run(fleet.replicas, "serve")
 
-    arrivals = traffic.arrivals(duration, seed)
-    logger.info("serve: %d arrivals over %.3fs on %s (policy=%s router=%s)",
-                len(arrivals), duration, fleet.describe(), policy.name,
-                router.name)
+    logger.info("serve: streaming arrivals over %.3fs on %s "
+                "(policy=%s router=%s summary=%s)",
+                duration, fleet.describe(), policy.name, router.name, summary)
     records: list[RequestRecord] = []
+    accumulator = None
+    if summary == "streaming":
+        accumulator = ReportAccumulator(
+            slo_seconds=slo_seconds, percentiles=percentiles,
+            window_seconds=window_seconds)
 
     # Routing estimates are memoised outside the result cache: one engine
     # simulation per (model, replica kind) for the whole run, and the
@@ -138,15 +185,27 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
             estimates[key] = cached
         return cached
 
-    sequence = itertools.count()
+    # Arrival events are sequenced by request index, runtime events from a
+    # disjoint higher range: the merged order (ties included) matches the
+    # historical loop that pushed every arrival before any runtime event.
+    sequence = itertools.count(RUNTIME_SEQUENCE_BASE)
+    arrival_stream = _iter_arrivals(traffic, duration, seed)
+    offered = 0
+    first = next(arrival_stream, None)
+    exhausted = first is None
     events: list[tuple[float, int, str, object]] = []
-    for request in arrivals:
-        heapq.heappush(events, (request.arrival, next(sequence), "arrival", request))
-    remaining = len(arrivals)
+    if first is not None:
+        events.append((first.arrival, first.index, "arrival", first))
     if autoscaler is not None:
         autoscaler.begin(fleet, observer=obs)
         if autoscaler.interval <= duration:
-            heapq.heappush(events, (autoscaler.interval, next(sequence), "scale", None))
+            events.append((autoscaler.interval, next(sequence), "scale", None))
+    heapq.heapify(events)
+
+    # Least-loaded routing goes through an incrementally maintained backlog
+    # index instead of a per-arrival scan over the fleet.
+    index = LoadIndex(fleet.replicas) if getattr(router, "uses_load_index",
+                                                 False) else None
 
     def dispatch(replica: Replica, now: float) -> None:
         # A draining replica flushes like a run-end drain: it will never see
@@ -154,12 +213,12 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         # retirement (and the requests already queued on it).
         while replica.idle(now) and replica.queue:
             batch = policy.take(replica.queue, now,
-                                draining=(remaining == 0 or not replica.active))
+                                draining=(exhausted or not replica.active))
             if batch is None:
                 deadline = policy.deadline(replica.queue)
                 if deadline is not None and deadline > now:
                     heapq.heappush(events, (deadline, next(sequence), "poll", replica))
-                return
+                break
             for request in batch:
                 replica.queued_seconds -= estimate(request.model, replica).latency_seconds
             if not replica.queue:
@@ -174,11 +233,15 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
             replica.energy_joules += result.end_to_end_energy
             replica.batches += 1
             replica.served += len(batch)
-            records.extend(
-                RequestRecord(index=request.index, model=request.model,
-                              arrival=request.arrival, replica=replica.name,
-                              batch_size=len(batch), dispatch=now, completion=finish)
-                for request in batch)
+            if accumulator is not None:
+                for request in batch:
+                    accumulator.observe(request.model, request.arrival, now, finish)
+            else:
+                records.extend(
+                    RequestRecord(index=request.index, model=request.model,
+                                  arrival=request.arrival, replica=replica.name,
+                                  batch_size=len(batch), dispatch=now, completion=finish)
+                    for request in batch)
             heapq.heappush(events, (finish, next(sequence), "free", replica))
             if obs is not None:
                 obs.batch_dispatched(replica, batch, now, finish)
@@ -191,6 +254,8 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
             if obs is not None:
                 obs.replica_retired(replica, now)
             logger.debug("t=%.6f retired %s", now, replica.name)
+        if index is not None and replica.active:
+            index.update(replica, now)
 
     tick = obs.event_tick if obs is not None else None
     while events:
@@ -198,15 +263,29 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         if tick is not None:
             tick(now)
         if kind == "arrival":
-            remaining -= 1
-            candidates = fleet.active_replicas or fleet.replicas
-            replica = router.choose(candidates, payload.model, now, estimate)
+            offered += 1
+            upcoming = next(arrival_stream, None)
+            if upcoming is None:
+                exhausted = True
+            else:
+                heapq.heappush(events, (upcoming.arrival, upcoming.index,
+                                        "arrival", upcoming))
+            if index is not None:
+                replica = index.argmin(now)
+                if replica is None:              # every replica is draining
+                    replica = router.choose(fleet.replicas, payload.model, now,
+                                            estimate)
+            else:
+                candidates = fleet.active_replicas or fleet.replicas
+                replica = router.choose(candidates, payload.model, now, estimate)
             replica.queue.append(payload)
             replica.queued_seconds += estimate(payload.model, replica).latency_seconds
+            if index is not None and replica.active:
+                index.update(replica, now)
             if obs is not None:
                 obs.request_routed(payload, replica, now, len(replica.queue))
             dispatch(replica, now)
-            if remaining == 0:
+            if exhausted:
                 # Last arrival processed: policies holding out for bigger
                 # batches will never see another trigger, so flush everyone.
                 for other in fleet.replicas:
@@ -217,12 +296,16 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
                 heapq.heappush(events, (now + autoscaler.provision_seconds,
                                         next(sequence), "provision", None))
             for replica in drained:
+                if index is not None:
+                    index.remove(replica)
                 dispatch(replica, now)           # flush or retire immediately
             next_check = now + autoscaler.interval
             if next_check <= duration:
                 heapq.heappush(events, (next_check, next(sequence), "scale", None))
         elif kind == "provision":
-            autoscaler.provision(now, fleet)
+            replica = autoscaler.provision(now, fleet)
+            if index is not None:
+                index.update(replica, now)
         else:                                    # "free" and "poll" re-evaluate
             dispatch(payload, now)
 
@@ -244,11 +327,18 @@ def serve(traffic: TrafficPattern, fleet: Fleet | str,
         config["percentiles"] = sorted(set(percentiles))
     if window_seconds is not None:
         config["window_seconds"] = window_seconds
-    records.sort(key=lambda record: record.index)
-    report = build_report(config, records, offered=len(arrivals), duration=duration,
-                          slo_seconds=slo_seconds, replicas=fleet.replicas,
-                          cache_stats=cache.stats(), percentiles=percentiles,
-                          scale_events=scale_events, window_seconds=window_seconds)
+    if accumulator is not None:
+        config["summary"] = summary
+        report = accumulator.finalize(config, offered=offered, duration=duration,
+                                      replicas=fleet.replicas,
+                                      cache_stats=cache.stats(),
+                                      scale_events=scale_events)
+    else:
+        records.sort(key=lambda record: record.index)
+        report = build_report(config, records, offered=offered, duration=duration,
+                              slo_seconds=slo_seconds, replicas=fleet.replicas,
+                              cache_stats=cache.stats(), percentiles=percentiles,
+                              scale_events=scale_events, window_seconds=window_seconds)
     logger.info("serve: completed %d/%d requests, p99 %.4fs, throughput %.1f rps",
                 report.completed, report.offered, report.latency.p99,
                 report.throughput_rps)
@@ -263,13 +353,23 @@ def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
             seed: int = 0, slo_seconds: float = DEFAULT_SLO,
             dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
             models: Sequence[str] | None = None,
-            percentiles: Sequence[float] = DEFAULT_PERCENTILES) -> dict[str, ServeReport]:
+            percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+            window_seconds: float | None = None,
+            autoscaler=None,
+            summary: str = "exact",
+            obs=None) -> dict[str, ServeReport]:
     """Serve identical traffic on several fleets; one report per fleet.
 
     Every fleet sees the same arrival sequence (same traffic, duration and
     seed) and its own fresh replicas and cache, so reports differ only by the
     fleet under test — the setup behind the vanilla-vs-taylor serving tables.
     ``models``, when given, pre-warms each fleet's cache for those workloads.
+
+    ``window_seconds``, ``autoscaler``, ``summary`` and ``obs`` thread
+    straight through to each :func:`serve` run, so comparisons get windowed
+    reports, dynamic fleets, streaming summaries and observability exactly
+    like single runs do (one shared ``autoscaler``/``obs`` instance is reset
+    by each run in turn, so per-fleet reports stay independent).
     """
 
     reports: dict[str, ServeReport] = {}
@@ -282,5 +382,6 @@ def compare(traffic: TrafficPattern, fleets: dict[str, Fleet | str],
             traffic, fleet, policy, router, duration=duration, seed=seed,
             slo_seconds=slo_seconds,
             dispatch_overhead_seconds=dispatch_overhead_seconds, cache=cache,
-            percentiles=percentiles)
+            autoscaler=autoscaler, percentiles=percentiles,
+            window_seconds=window_seconds, summary=summary, obs=obs)
     return reports

@@ -1,10 +1,21 @@
 """Seeded request-arrival generators for the serving simulator.
 
-Every pattern turns ``(duration, seed)`` into a sorted list of
+Every pattern turns ``(duration, seed)`` into a sorted stream of
 :class:`Request` instances, each naming the workload it wants served
 (``deit-tiny``, ``levit-128``, ...).  Generation is pure: the same pattern,
-duration and seed always produce the identical arrival list, which is what
-makes whole serving runs bit-reproducible.
+duration and seed always produce the identical arrival sequence, which is
+what makes whole serving runs bit-reproducible.
+
+Patterns generate *lazily*: :meth:`TrafficPattern.iter_arrivals` yields
+requests one at a time and the list-returning :meth:`TrafficPattern.arrivals`
+is a thin ``list(...)`` wrapper, so the event loop in
+:func:`repro.serve.serve` holds only in-flight work rather than the whole
+trace.  Laziness never changes the sequence: when the workload mix consumes
+per-request randomness (a multi-model mix or token profiles), the historical
+draw order was "every arrival time first, then the per-request draws", so
+``iter_arrivals`` materialises the times internally for those mixes and is
+O(1)-memory only for mixes that draw nothing per request — exactly the
+single-model traffic used for scale runs.
 
 Patterns:
 
@@ -21,7 +32,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.knobs import KnobError
 from repro.workloads import UnknownWorkloadError, get_workload
@@ -185,6 +196,17 @@ class WorkloadMix:
                 return profile
         return None
 
+    @property
+    def draws_per_request(self) -> bool:
+        """True when :meth:`sample`/:meth:`sample_tokens` consume randomness.
+
+        Single-model unprofiled mixes draw nothing per request, which is what
+        lets ``iter_arrivals`` stream them in O(1) memory without disturbing
+        the historical "all times first, then per-request draws" order.
+        """
+
+        return len(self.entries) > 1 or bool(self.token_profiles)
+
     def sample(self, rng: random.Random) -> str:
         if len(self.entries) == 1:
             return self.entries[0][0]
@@ -228,9 +250,47 @@ class TrafficPattern(Protocol):
         """The sorted request list for one run of ``duration`` seconds."""
         ...
 
+    def iter_arrivals(self, duration: float, seed: int) -> Iterator[Request]:
+        """The same sequence as :meth:`arrivals`, yielded lazily."""
+        ...
+
     def to_dict(self) -> dict[str, object]:
         """JSON-stable description echoed into the :class:`ServeReport`."""
         ...
+
+
+def iter_arrivals(traffic: TrafficPattern, duration: float,
+                  seed: int) -> Iterator[Request]:
+    """Stream ``traffic``'s arrivals, tolerating list-only patterns.
+
+    The simulator consumes arrivals through this helper so third-party
+    patterns that predate :meth:`TrafficPattern.iter_arrivals` (or test
+    doubles that only implement ``arrivals``) keep working — they are simply
+    materialised first, as before.
+    """
+
+    lazy = getattr(traffic, "iter_arrivals", None)
+    if lazy is not None:
+        return lazy(duration, seed)
+    return iter(traffic.arrivals(duration, seed))
+
+
+def traffic_models(traffic: TrafficPattern) -> list[str] | None:
+    """Every model ``traffic`` can emit, without generating arrivals.
+
+    Mix-backed patterns declare their models up front and replay traces carry
+    them; ``None`` means the pattern's models are only knowable by generating
+    (callers then fall back to materialising).  Streaming LLM runs use this
+    to size KV capacity without holding the arrival list.
+    """
+
+    mix = getattr(traffic, "mix", None)
+    if mix is not None:
+        return sorted(model for model, _ in mix.entries)
+    trace = getattr(traffic, "trace", None)
+    if trace is not None:
+        return sorted({entry[1] for entry in trace})
+    return None
 
 
 def _check_duration(duration: float) -> None:
@@ -238,15 +298,24 @@ def _check_duration(duration: float) -> None:
         raise ValueError(f"duration must be positive, got {duration}")
 
 
-def _requests(times: Iterable[float], mix: WorkloadMix,
-              rng: random.Random) -> list[Request]:
-    requests = []
+def _lazy_requests(times: Iterator[float], mix: WorkloadMix,
+                   rng: random.Random) -> Iterator[Request]:
+    """Attach mix draws to a time stream without changing the draw order.
+
+    Historically every pattern drew *all* arrival times before any model or
+    token choice; a mix that consumes per-request randomness therefore forces
+    the time stream to materialise here so the interleaving (and with it the
+    bit-exact arrival sequence) is preserved.  Mixes that draw nothing per
+    request stream straight through in O(1) memory.
+    """
+
+    if mix.draws_per_request:
+        times = iter(list(times))
     for index, time in enumerate(times):
         model = mix.sample(rng)
         prompt, output = mix.sample_tokens(model, rng)
-        requests.append(Request(index=index, model=model, arrival=time,
-                                prompt_tokens=prompt, output_tokens=output))
-    return requests
+        yield Request(index=index, model=model, arrival=time,
+                      prompt_tokens=prompt, output_tokens=output)
 
 
 @dataclass(frozen=True)
@@ -261,15 +330,19 @@ class PoissonTraffic:
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
 
-    def arrivals(self, duration: float, seed: int) -> list[Request]:
-        _check_duration(duration)
-        rng = random.Random(seed)
-        times = []
+    def _times(self, duration: float, rng: random.Random) -> Iterator[float]:
         now = rng.expovariate(self.rate)
         while now < duration:
-            times.append(now)
+            yield now
             now += rng.expovariate(self.rate)
-        return _requests(times, self.mix, rng)
+
+    def iter_arrivals(self, duration: float, seed: int) -> Iterator[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        return _lazy_requests(self._times(duration, rng), self.mix, rng)
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        return list(self.iter_arrivals(duration, seed))
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "rate": self.rate, "mix": self.mix.to_dict()}
@@ -309,10 +382,7 @@ class BurstyTraffic:
         if min(self.quiet_factor, self.mean_quiet, self.mean_burst) <= 0:
             raise ValueError("bursty traffic parameters must be positive")
 
-    def arrivals(self, duration: float, seed: int) -> list[Request]:
-        _check_duration(duration)
-        rng = random.Random(seed)
-        times = []
+    def _times(self, duration: float, rng: random.Random) -> Iterator[float]:
         now, burst = 0.0, False
         while now < duration:
             mean_dwell = self.mean_burst if burst else self.mean_quiet
@@ -320,10 +390,17 @@ class BurstyTraffic:
             phase_end = min(now + rng.expovariate(1.0 / mean_dwell), duration)
             tick = now + rng.expovariate(phase_rate)
             while tick < phase_end:
-                times.append(tick)
+                yield tick
                 tick += rng.expovariate(phase_rate)
             now, burst = phase_end, not burst
-        return _requests(times, self.mix, rng)
+
+    def iter_arrivals(self, duration: float, seed: int) -> Iterator[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        return _lazy_requests(self._times(duration, rng), self.mix, rng)
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        return list(self.iter_arrivals(duration, seed))
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "rate": self.rate,
@@ -359,16 +436,20 @@ class DiurnalTraffic:
         phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * time / self.period))
         return self.peak_rate * (self.floor + (1.0 - self.floor) * phase)
 
-    def arrivals(self, duration: float, seed: int) -> list[Request]:
-        _check_duration(duration)
-        rng = random.Random(seed)
-        times = []
+    def _times(self, duration: float, rng: random.Random) -> Iterator[float]:
         now = rng.expovariate(self.peak_rate)
         while now < duration:
             if rng.random() < self.rate_at(now) / self.peak_rate:
-                times.append(now)
+                yield now
             now += rng.expovariate(self.peak_rate)
-        return _requests(times, self.mix, rng)
+
+    def iter_arrivals(self, duration: float, seed: int) -> Iterator[Request]:
+        _check_duration(duration)
+        rng = random.Random(seed)
+        return _lazy_requests(self._times(duration, rng), self.mix, rng)
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        return list(self.iter_arrivals(duration, seed))
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "peak_rate": self.peak_rate,
@@ -417,13 +498,18 @@ class ReplayTraffic:
                                  f"got {record!r}")
         return cls(tuple(trace))
 
-    def arrivals(self, duration: float, seed: int) -> list[Request]:
+    def iter_arrivals(self, duration: float, seed: int) -> Iterator[Request]:
         _check_duration(duration)
+        # Replay still sorts its trace up front (a trace is in memory anyway);
+        # laziness here is about matching the streaming protocol.
         ordered = sorted(entry for entry in self.trace if entry[0] < duration)
-        return [Request(index=index, model=entry[1], arrival=entry[0],
-                        prompt_tokens=entry[2] if len(entry) > 2 else None,
-                        output_tokens=entry[3] if len(entry) > 2 else None)
-                for index, entry in enumerate(ordered)]
+        for index, entry in enumerate(ordered):
+            yield Request(index=index, model=entry[1], arrival=entry[0],
+                          prompt_tokens=entry[2] if len(entry) > 2 else None,
+                          output_tokens=entry[3] if len(entry) > 2 else None)
+
+    def arrivals(self, duration: float, seed: int) -> list[Request]:
+        return list(self.iter_arrivals(duration, seed))
 
     def to_dict(self) -> dict[str, object]:
         return {"name": self.name, "trace_length": len(self.trace)}

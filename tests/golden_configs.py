@@ -1,0 +1,61 @@
+"""Shared serving configs pinned by ``tests/data/serve_goldens.json``.
+
+``build_golden_reports()`` runs every pinned config through the library and
+returns ``{name: report.to_json()}``.  The goldens were captured before the
+streaming-summary refactor landed, so the test asserting equality is the
+bit-identity contract for ``summary="exact"`` (the default): lazy arrivals,
+the incremental load index and the heapify seeding must all reproduce the
+pre-refactor event order and report bytes exactly.
+
+Regenerate (only when a report-shape change is intended and documented)::
+
+    PYTHONPATH=src:tests python -c \
+        "import json, golden_configs; json.dump(golden_configs.build_golden_reports(), \
+         open('tests/data/serve_goldens.json', 'w'), indent=1)"
+"""
+
+from repro.plan import Autoscaler
+from repro.serve import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    ReplayTraffic,
+    TokenProfile,
+    WorkloadMix,
+    serve,
+    serve_llm,
+)
+
+MIXED = WorkloadMix.of(["deit-tiny", "levit-128"], [2.0, 1.0])
+SINGLE = WorkloadMix.of(["deit-tiny"])
+
+
+def build_golden_reports() -> dict[str, str]:
+    reports: dict[str, str] = {}
+    reports["poisson-hetero-timeout"] = serve(
+        PoissonTraffic(80.0, MIXED), "2xvitality,1xgpu:taylor",
+        policy="timeout", router="least-loaded", duration=2.0, seed=7,
+        window_seconds=0.5).to_json()
+    reports["bursty-energy-fifo"] = serve(
+        BurstyTraffic(60.0, SINGLE), "1xvitality,1xgpu",
+        policy="fifo", router="energy-aware", duration=2.0, seed=3).to_json()
+    reports["diurnal-autoscale"] = serve(
+        DiurnalTraffic(120.0, MIXED, period=3.0), "1xvitality",
+        policy="size", duration=3.0, seed=11, window_seconds=0.5,
+        autoscaler=Autoscaler("queue-depth", "vitality", max_replicas=4,
+                              interval=0.25, provision_seconds=0.1),
+        percentiles=(0.5, 0.95, 0.99, 0.999)).to_json()
+    reports["replay-tail"] = serve(
+        ReplayTraffic(((0.01, "deit-tiny"), (0.02, "levit-128"),
+                       (0.02, "deit-tiny"), (0.5, "deit-tiny"),
+                       (0.95, "levit-128"))), "1xvitality",
+        policy="fifo", duration=1.0, seed=0).to_json()
+    reports["llm-continuous"] = serve_llm(
+        PoissonTraffic(30.0, WorkloadMix.of(
+            ["decoder"], tokens=TokenProfile.of("64:256", "16:64"))),
+        "2xvitality", scheduler="continuous", duration=2.0, seed=5).to_json()
+    reports["llm-disagg"] = serve_llm(
+        PoissonTraffic(20.0, WorkloadMix.of(["decoder"])),
+        prefill_fleet="1xvitality", decode_fleet="1xvitality",
+        duration=2.0, seed=9).to_json()
+    return reports
