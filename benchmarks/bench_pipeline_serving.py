@@ -1,0 +1,42 @@
+"""Pipeline serving: a three-stage RAG chain through the event loop.
+
+Not a paper artifact — the multi-stage counterpart of the serving
+benchmarks: one retrieval→rerank→classify chain on per-stage vitality
+pools, measured end to end (sustained throughput, per-stage utilization,
+handoff accounting).  With ``--json DIR`` the test leaves a
+``BENCH_pipeline_serving.json`` record (wall seconds of one driver run plus
+the headline request and handoff throughput) for the performance
+trajectory.
+"""
+
+from repro.serve import PoissonTraffic, WorkloadMix, serve_pipeline
+
+PIPELINE = "rag = encoder[tokens=256] -> rerank:encoder[tokens=64] -> deit-tiny"
+POOLS = {"encoder": "2xvitality", "rerank": "1xvitality",
+         "deit-tiny": "1xvitality"}
+
+
+def run_pipeline():
+    traffic = PoissonTraffic(rate=120.0, mix=WorkloadMix.of(["deit-tiny"]))
+    return serve_pipeline(traffic, PIPELINE, POOLS, duration=2.0, seed=0)
+
+
+def test_pipeline_serving(benchmark, report, bench_json):
+    result = benchmark(run_pipeline)
+    block = result.pipeline
+    report("Pipeline serving — 3-stage RAG chain on per-stage pools", {
+        "completed": result.completed,
+        "throughput_rps": result.throughput_rps,
+        "mean_ms": result.latency.mean * 1e3,
+        "p99_ms": result.latency.p99 * 1e3,
+        "handoffs": block["handoffs"],
+        "stage_utilization": {row["name"]: row["utilization"]
+                              for row in block["stages"]},
+    })
+    bench_json("pipeline_serving", benchmark.stats.stats.mean,
+               requests=result.completed,
+               throughput_rps=result.throughput_rps,
+               handoffs=block["handoffs"])
+    assert result.completed == result.offered > 0
+    # Every request of the linear chain pays exactly two handoffs.
+    assert block["handoffs"] == 2 * result.completed

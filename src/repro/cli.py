@@ -34,6 +34,12 @@ Usage examples::
     python -m repro serve --llm --models decoder --rate 20 --duration 4 \
                           --trace-out trace.json --metrics-out metrics.prom
     python -m repro trace summarize trace.json  # queue/prefill/decode breakdown
+    python -m repro serve --rate 80 --duration 4 \
+                          --pipeline "rag = encoder[tokens=512] -> rerank:encoder[tokens=128] -> deit-tiny" \
+                          --pools "encoder=2xvitality;rerank=1xvitality;deit-tiny=1xvitality"
+    python -m repro plan --rate 80 --slo-ms 60 --duration 2 \
+                         --pipeline "rag = encoder[tokens=128] -> deit-tiny" \
+                         --targets vitality               # joint stage sizing
     python -m repro --log-level debug serve --rate 100 --duration 1 --quiet
 """
 
@@ -72,7 +78,13 @@ from repro.obs import (
     write_chrome_trace,
     write_prometheus,
 )
-from repro.plan import SCALE_POLICIES, Autoscaler, plan_capacity, plan_llm_capacity
+from repro.plan import (
+    SCALE_POLICIES,
+    Autoscaler,
+    plan_capacity,
+    plan_llm_capacity,
+    plan_pipeline_capacity,
+)
 from repro.serve import (
     BATCH_POLICIES,
     DEFAULT_PERCENTILES,
@@ -88,6 +100,7 @@ from repro.serve import (
     make_traffic,
     serve,
     serve_llm,
+    serve_pipeline,
 )
 from repro.workloads import (
     FAMILIES,
@@ -280,6 +293,24 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="time-to-first-token SLO")
     llm.add_argument("--tpot-slo-ms", type=float, default=10.0,
                      help="time-per-output-token SLO")
+    pipe = srv.add_argument_group(
+        "pipeline serving", "multi-stage request DAGs: each request "
+                            "traverses per-stage replica pools "
+                            "(RAG chains, cascade draft->verify)")
+    pipe.add_argument("--pipeline", metavar="SPEC",
+                      help="arrow-grammar pipeline, e.g. 'rag = "
+                           "encoder[tokens=512] -> rerank:encoder[tokens=128]"
+                           " -> deit-tiny' (--models is ignored: stages name "
+                           "their own workloads)")
+    pipe.add_argument("--pools", metavar="MAP",
+                      help="semicolon-separated stage pools, e.g. "
+                           "'encoder=2xvitality;rerank=1xvitality'")
+    pipe.add_argument("--stage-handoff-ms", type=float, default=1.0,
+                      help="stage-to-stage handoff delay")
+    pipe.add_argument("--stage-slo-ms", metavar="MAP",
+                      help="optional per-stage latency SLOs, e.g. "
+                           "'encoder=30;deit-tiny=5' (reported per stage; "
+                           "--slo-ms stays the end-to-end SLO)")
 
     plan = subparsers.add_parser(
         "plan", help="SLO-driven capacity planning: search candidate fleets, "
@@ -343,6 +374,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="host overhead per prefill chunk / decode step")
     plan_llm.add_argument("--handoff-ms", type=float, default=2.0,
                           help="prefill-to-decode KV transfer delay")
+    plan_pipe = plan.add_argument_group(
+        "pipeline planning", "size every stage pool of a multi-stage "
+                             "pipeline jointly against the end-to-end SLO "
+                             "(--max-replicas bounds each stage's pool)")
+    plan_pipe.add_argument("--pipeline", metavar="SPEC",
+                           help="arrow-grammar pipeline to plan for "
+                                "(--models is ignored; --targets is one kind "
+                                "for every stage, or a per-stage map "
+                                "'encoder=vitality;deit-tiny=gpu')")
+    plan_pipe.add_argument("--stage-handoff-ms", type=float, default=1.0,
+                           help="stage-to-stage handoff delay")
 
     trace = subparsers.add_parser(
         "trace", help="work with trace files recorded by serve --trace-out")
@@ -682,6 +724,88 @@ def _command_serve_llm(arguments: argparse.Namespace, traffic,
     return 0
 
 
+def _parse_stage_map(text: str, option: str) -> dict[str, str]:
+    """``"encoder=2xvitality;rerank=1xvitality"`` -> a stage-keyed dict."""
+
+    mapping: dict[str, str] = {}
+    for item in text.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip() or not value.strip():
+            raise ValueError(f"{option} entries must be 'stage=value' pairs "
+                             f"separated by ';', got {item!r}")
+        mapping[key.strip()] = value.strip()
+    if not mapping:
+        raise ValueError(f"{option} names no stages: {text!r}")
+    return mapping
+
+
+def _command_serve_pipeline(arguments: argparse.Namespace, traffic,
+                            percentiles, obs=None) -> int:
+    """The ``serve --pipeline`` leg: multi-stage DAG over per-stage pools."""
+
+    try:
+        if not arguments.pools:
+            raise ValueError("--pipeline requires --pools "
+                             "(e.g. 'encoder=2xvitality;deit-tiny=1xvitality')")
+        pools = _parse_stage_map(arguments.pools, "--pools")
+        stage_slo = None
+        if arguments.stage_slo_ms:
+            stage_slo = {
+                stage: float(value) * 1e-3
+                for stage, value in _parse_stage_map(
+                    arguments.stage_slo_ms, "--stage-slo-ms").items()}
+        report = serve_pipeline(
+            traffic, arguments.pipeline, pools,
+            make_policy(arguments.policy, batch_size=arguments.batch,
+                        timeout=arguments.timeout_ms * 1e-3),
+            make_router(arguments.router),
+            duration=arguments.duration, seed=arguments.seed,
+            slo_seconds=(50.0 if arguments.slo_ms is None
+                         else arguments.slo_ms) * 1e-3,
+            stage_slo_seconds=stage_slo,
+            handoff_seconds=arguments.stage_handoff_ms * 1e-3,
+            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
+            percentiles=percentiles,
+            window_seconds=(None if arguments.window_ms is None
+                            else arguments.window_ms * 1e-3),
+            summary=arguments.summary, obs=obs)
+    except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
+            TypeError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    failure = _write_observability(arguments, obs)
+    if failure is not None:
+        return failure
+    if arguments.json:
+        print(report.to_json())
+        return 0
+    block = report.pipeline
+    summary = {"pipeline": block["name"], "policy": arguments.policy,
+               "router": arguments.router, **report.summary_row()}
+    print(markdown_table([summary]))
+    print()
+    print(markdown_table(
+        [{"stage": row["name"], "model": row["model"], "pool": row["pool"],
+          "requests": row["requests"],
+          "mean_ms": round(row["latency"]["mean"] * 1e3, 4),
+          "p99_ms": round(row["latency"]["p99"] * 1e3, 4),
+          "utilization": round(row["utilization"], 4),
+          "slo_attainment": row["slo_attainment"]}
+         for row in block["stages"]]))
+    print()
+    print(markdown_table([replica.to_dict() for replica in report.per_replica],
+                         ["name", "stage", "requests", "batches",
+                          "utilization", "energy_joules"]))
+    print(f"\n{report.completed}/{report.offered} requests traversed "
+          f"{len(block['stages'])} stages ({block['handoffs']} handoffs at "
+          f"{block['handoff_seconds'] * 1e3:g}ms each) in "
+          f"{report.makespan:.3f}s")
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     models = split_configured_names(arguments.models)
     weights: tuple[float, ...] | None = None
@@ -713,6 +837,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
                                weights, period=arguments.period, trace=trace,
                                tokens=tokens)
         obs = _build_observability(arguments, percentiles)
+        if arguments.pipeline:
+            if arguments.llm:
+                return _fail("--pipeline and --llm are mutually exclusive")
+            return _command_serve_pipeline(arguments, traffic, percentiles, obs)
         if arguments.llm:
             return _command_serve_llm(arguments, traffic, percentiles, obs)
         autoscaler = None
@@ -845,15 +973,81 @@ def _command_plan_llm(arguments: argparse.Namespace, model: str,
     return 0
 
 
+def _command_plan_pipeline(arguments: argparse.Namespace) -> int:
+    """The ``plan --pipeline`` leg: joint per-stage pool sizing."""
+
+    try:
+        targets: "str | dict[str, str]"
+        if "=" in arguments.targets:
+            targets = _parse_stage_map(arguments.targets, "--targets")
+        else:
+            targets = split_configured_names(arguments.targets)[0]
+        payload = plan_pipeline_capacity(
+            arguments.rate, arguments.pipeline,
+            slo_seconds=arguments.slo_ms * 1e-3,
+            slo_percentile=arguments.percentile / 100.0,
+            duration=arguments.duration, targets=targets,
+            max_replicas_per_stage=arguments.max_replicas,
+            top_k=arguments.top_k, policy=arguments.policy,
+            batch_size=arguments.batch, timeout=arguments.timeout_ms * 1e-3,
+            handoff_seconds=arguments.stage_handoff_ms * 1e-3,
+            dispatch_overhead_seconds=arguments.overhead_ms * 1e-3,
+            seed=arguments.seed, cache=_make_cache(arguments),
+            jobs=arguments.jobs, progress=_plan_progress(arguments))
+    except (UnknownTargetError, UnknownWorkloadError, KeyError, ValueError,
+            TypeError, IndexError) as error:
+        message = error.args[0] if error.args else error
+        return _fail(str(message))
+    if arguments.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    label = f"p{arguments.percentile:g}"
+    print(markdown_table(
+        [{key: candidate[key] for key in
+          ("pools_text", "replicas", f"predicted_{label}_ms", "area_mm2",
+           "bottleneck", "predicted_feasible")}
+         for candidate in payload["candidates"]]))
+    if payload["validated"]:
+        print()
+        print(markdown_table(
+            [{key: candidate[key] for key in
+              ("pools_text", f"{label}_ms", "slo_violation_rate",
+               "throughput_rps", "slo_attained", "pareto")}
+             for candidate in payload["validated"]]))
+    chosen = payload["chosen"]
+    if chosen is None:
+        print(f"\nno pool sizing met the {label} <= {arguments.slo_ms:g}ms "
+              f"end-to-end SLO at {arguments.rate:g} req/s — raise "
+              f"--max-replicas")
+    else:
+        print(f"\nchosen: {chosen['pools_text']} — {label} "
+              f"{chosen[f'{label}_ms']:.2f}ms <= {arguments.slo_ms:g}ms at "
+              f"{arguments.rate:g} req/s")
+        boundary = payload["boundary"]
+        if boundary is not None:
+            verdict = "meets" if boundary["slo_attained"] else "misses"
+            print(f"boundary ({boundary['stage_shrunk']} one smaller): "
+                  f"{boundary['pools_text']} {verdict} the SLO "
+                  f"({label} {boundary[f'{label}_ms']:.2f}ms)")
+    print(f"\n{payload['simulated']} of {payload['evaluated']} pool sizings "
+          f"validated in simulation (objectives: "
+          f"{', '.join(payload['objectives'])})")
+    return 0
+
+
 def _command_plan(arguments: argparse.Namespace) -> int:
     models = split_configured_names(arguments.models)
     targets = split_configured_names(arguments.targets)
-    if not targets:
+    if not targets and "=" not in arguments.targets:
         return _fail("no candidate targets given")
     if not models:
         return _fail("no workloads given")
     if not 0 < arguments.percentile < 100:
         return _fail(f"--percentile must be in (0, 100), got {arguments.percentile}")
+    if arguments.pipeline:
+        if arguments.llm:
+            return _fail("--pipeline and --llm are mutually exclusive")
+        return _command_plan_pipeline(arguments)
     if arguments.llm:
         return _command_plan_llm(arguments, models[0], targets[0])
     weights: tuple[float, ...] | None = None

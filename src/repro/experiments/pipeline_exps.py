@@ -1,0 +1,151 @@
+"""Pipeline-serving experiments: multi-stage DAGs beyond the paper.
+
+* :func:`rag_pipeline_study` — two claims on one payload:
+
+  1. **Joint beats proportional sizing.**  ``plan_pipeline_capacity`` sizes
+     every stage pool of a retrieval→generation chain against one end-to-end
+     SLO; the proportional baseline (the same replica count on every stage,
+     grown until the measured end-to-end percentile meets the same SLO)
+     attains the SLO too, but on strictly more replicas — uniform growth
+     over-provisions the stages that never bind.
+  2. **Cascades cut latency at matched quality proxy.**  A draft→verify
+     cascade (small draft model, seeded acceptance rate, large verifier for
+     the rest) against monolithic large-model serving on the *same total
+     hardware*: the cascade's mean latency is lower because most requests
+     stop at the draft stage.  The accuracy proxy is matched by
+     construction — escalated requests get the large model's output and
+     accepted drafts are, by the acceptance-rate definition, the ones the
+     verifier would agree with — so the comparison isolates latency.
+"""
+
+from __future__ import annotations
+
+from repro.plan import plan_pipeline_capacity
+from repro.serve import (
+    PipelineSpec,
+    PoissonTraffic,
+    ServeReport,
+    WorkloadMix,
+    serve,
+    serve_pipeline,
+)
+
+#: Stage chain and operating point for the joint-vs-proportional claim: the
+#: encoder stage saturates one vitality replica at this rate, deit-tiny never
+#: binds, so uniform per-stage growth over-provisions the light stage.
+JOINT_PIPELINE = "rag = encoder[tokens=128] -> deit-tiny"
+JOINT_RATE = 120.0
+JOINT_SLO_MS = 20.0
+
+#: Cascade arm: a cheap draft encoder accepts 70% of requests, the rest
+#: escalate to the 512-token verifier; the monolithic arm serves every
+#: request on the verifier's model with the same two replicas.
+DRAFT_MODEL = "encoder[tokens=32]"
+VERIFY_MODEL = "encoder[tokens=512]"
+ACCEPTANCE_RATE = 0.7
+CASCADE_RATE = 40.0
+
+
+def _arrivals(rate: float) -> PoissonTraffic:
+    return PoissonTraffic(rate=rate, mix=WorkloadMix.of(["deit-tiny"]))
+
+
+def _e2e_row(report: ServeReport, slo_ms: float) -> dict[str, object]:
+    p95 = report.latency.quantile(0.95)
+    return {
+        "completed": report.completed,
+        "mean_ms": report.latency.mean * 1e3,
+        "p95_ms": p95 * 1e3,
+        "slo_attained": p95 * 1e3 <= slo_ms,
+        "throughput_rps": report.throughput_rps,
+        "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+    }
+
+
+def _joint_vs_proportional(duration: float) -> dict[str, object]:
+    planned = plan_pipeline_capacity(
+        JOINT_RATE, JOINT_PIPELINE, slo_seconds=JOINT_SLO_MS * 1e-3,
+        slo_percentile=0.95, duration=duration, targets="vitality",
+        max_replicas_per_stage=3, policy="fifo", seed=0)
+    chosen = planned["chosen"]
+
+    stage_names = [stage["name"]
+                   for stage in planned["config"]["pipeline"]["stages"]]
+    proportional = None
+    for count in range(1, 4):
+        pools = {name: f"{count}xvitality" for name in stage_names}
+        report = serve_pipeline(_arrivals(JOINT_RATE), JOINT_PIPELINE, pools,
+                                policy="fifo", duration=duration, seed=0,
+                                slo_seconds=JOINT_SLO_MS * 1e-3)
+        row = _e2e_row(report, JOINT_SLO_MS)
+        row.update(pools={name: pools[name] for name in stage_names},
+                   replicas=count * len(stage_names))
+        proportional = row
+        if row["slo_attained"]:
+            break
+
+    return {
+        "pipeline": JOINT_PIPELINE,
+        "rate_rps": JOINT_RATE,
+        "slo_ms": JOINT_SLO_MS,
+        "joint": {key: chosen[key] for key in
+                  ("pools", "replicas", "area_mm2", "p95_ms", "slo_attained")}
+        if chosen is not None else None,
+        "proportional": proportional,
+        "replicas_saved": (proportional["replicas"] - chosen["replicas"]
+                           if chosen is not None and proportional is not None
+                           else None),
+    }
+
+
+def _cascade_vs_monolithic(duration: float) -> dict[str, object]:
+    cascade_spec = PipelineSpec.cascade("cascade", DRAFT_MODEL, VERIFY_MODEL,
+                                        acceptance_rate=ACCEPTANCE_RATE)
+    cascade = serve_pipeline(
+        _arrivals(CASCADE_RATE), cascade_spec,
+        {"draft": "1xvitality", "verify": "1xvitality"},
+        policy="fifo", duration=duration, seed=0)
+    monolithic = serve(
+        PoissonTraffic(rate=CASCADE_RATE, mix=WorkloadMix.of([VERIFY_MODEL])),
+        "2xvitality", policy="fifo", duration=duration, seed=0)
+
+    cascade_row = _e2e_row(cascade, slo_ms=float("inf"))
+    cascade_row.update(
+        replicas=2, escalation_rate=(
+            cascade.pipeline["stages"][1]["requests"] / cascade.completed))
+    monolithic_row = _e2e_row(monolithic, slo_ms=float("inf"))
+    monolithic_row.update(replicas=2)
+    for row in (cascade_row, monolithic_row):
+        del row["slo_attained"]
+        # Quality proxy: escalated requests carry the verifier's output and
+        # accepted drafts are (by the acceptance-rate definition) those the
+        # verifier would agree with, so both arms deliver large-model-grade
+        # answers on every request.
+        row["accuracy_proxy"] = 1.0
+
+    return {
+        "draft_model": DRAFT_MODEL,
+        "verify_model": VERIFY_MODEL,
+        "acceptance_rate": ACCEPTANCE_RATE,
+        "rate_rps": CASCADE_RATE,
+        "cascade": cascade_row,
+        "monolithic": monolithic_row,
+        "mean_latency_speedup": (monolithic_row["mean_ms"]
+                                 / cascade_row["mean_ms"]),
+    }
+
+
+def rag_pipeline_study(quick: bool = True) -> dict[str, object]:
+    """Joint pool sizing vs proportional, and cascade vs monolithic.
+
+    Returns ``{"joint_vs_proportional": ..., "cascade_vs_monolithic": ...}``;
+    the joint plan meets the end-to-end SLO on fewer replicas than the
+    proportional baseline, and the cascade's mean latency beats monolithic
+    serving on the same two replicas.
+    """
+
+    duration = 1.0 if quick else 4.0
+    return {
+        "joint_vs_proportional": _joint_vs_proportional(duration),
+        "cascade_vs_monolithic": _cascade_vs_monolithic(2.0 if quick else 8.0),
+    }

@@ -11,6 +11,7 @@ from repro.experiments import (
     dse_exps,
     hardware_exps,
     llm_exps,
+    pipeline_exps,
     plan_exps,
     profiling_exps,
     seqscale_exps,
@@ -89,6 +90,9 @@ _register("autoscale", "Autoscaling vs a peak-sized static fleet (diurnal load)"
           "beyond the paper", plan_exps.autoscale_study)
 _register("disagg", "Continuous batching and prefill/decode disaggregation",
           "beyond the paper", llm_exps.continuous_vs_disaggregated)
+_register("rag", "RAG pipeline serving: joint pool sizing and cascade "
+                 "draft-verify", "beyond the paper",
+          pipeline_exps.rag_pipeline_study)
 
 
 def list_experiments() -> list[str]:

@@ -12,8 +12,9 @@ bit-identical :class:`ServeReport`.
 Span accounting contract (the tests pin it): each request's phase spans
 partition ``[arrival, completion]`` — ``queue`` + ``service`` for classic
 requests, ``queue`` + ``prefill`` (+ ``handoff`` + ``decode-wait`` +
-``decode``) for LLM requests — so their durations sum to the report's
-latency for that request, exactly in float.
+``decode``) for LLM requests, and per-stage ``queue`` + ``service``
+(+ ``handoff`` between stages) chains for pipeline requests — so their
+durations sum to the report's latency for that request, exactly in float.
 """
 
 from __future__ import annotations
@@ -83,14 +84,17 @@ class Observability:
             self.trace.thread(PID_FLEET, replica.index + 1, replica.name)
 
     def _request_span(self, phase: str, index: int, model: str,
-                      replica_name: str, start: float, end: float) -> None:
+                      replica_name: str, start: float, end: float,
+                      stage: str | None = None) -> None:
         if end <= start:
             return                       # zero-width phases add nothing
+        args: dict[str, object] = {"phase": phase, "request": index,
+                                   "model": model, "replica": replica_name}
+        if stage is not None:
+            args["stage"] = stage
         self.trace.span(phase, start=start, end=end, pid=PID_REQUESTS,
                         tid=index, cat="request",
-                        color=PHASE_COLORS[phase],
-                        args={"phase": phase, "request": index,
-                              "model": model, "replica": replica_name})
+                        color=PHASE_COLORS[phase], args=args)
 
     def _queue_counter(self, replica, now: float, depth: int) -> None:
         if self.trace is not None:
@@ -161,6 +165,64 @@ class Observability:
                                tid=TID_AUTOSCALER, cat="autoscaler",
                                args={"replica": event.replica,
                                      "detail": event.detail})
+
+    # ------------------------------------------------------ pipeline serving
+
+    def pipeline_routed(self, request, replica, now: float, depth: int,
+                        entry: bool) -> None:
+        """A request landed on one stage's queue; ``entry`` marks arrival at
+        the pipeline's entry stage (the only hop counted as an arrival)."""
+
+        if self._passive:
+            return
+        if self.metrics is not None and entry:
+            self.metrics.on_arrival(now)
+        self._queue_counter(replica, now, depth)
+
+    def stage_dispatched(self, replica, batch, now: float, finish: float,
+                         stage: str) -> None:
+        """One stage batch ran; per-request queue/service spans carry the
+        stage name so per-request tracks partition arrival→completion."""
+
+        if self._passive:
+            return
+        if self.trace is not None:
+            self._track(replica)
+            model = batch[0].model
+            self.trace.span(f"{model} x{len(batch)}", start=now, end=finish,
+                            pid=PID_FLEET, tid=replica.index + 1, cat="dispatch",
+                            args={"replica": replica.name, "model": model,
+                                  "batch_size": len(batch), "stage": stage})
+            for request in batch:
+                self._request_span(PHASE_QUEUE, request.index, request.model,
+                                   replica.name, request.arrival, now,
+                                   stage=stage)
+                self._request_span(PHASE_SERVICE, request.index, request.model,
+                                   replica.name, now, finish, stage=stage)
+        if self.metrics is not None:
+            self.metrics.on_dispatch(replica.name, now, finish, len(batch),
+                                     requests=len(batch))
+        self._queue_counter(replica, now, len(replica.queue))
+
+    def stage_handoff(self, index: int, model: str, replica_name: str,
+                      now: float, arrival: float, stage: str) -> None:
+        """The request is in flight from ``stage`` to its successor."""
+
+        if self._passive:
+            return
+        if self.trace is not None:
+            self._request_span(PHASE_HANDOFF, index, model, replica_name,
+                               now, arrival, stage=stage)
+
+    def pipeline_completed(self, index: int, model: str, arrival: float,
+                           queue_wait: float, completion: float) -> None:
+        """The request exited the pipeline; one end-to-end completion."""
+
+        if self._passive:
+            return
+        if self.metrics is not None:
+            self.metrics.on_completion(completion, completion - arrival,
+                                       queue_wait=queue_wait)
 
     # ----------------------------------------------------------- LLM serving
 

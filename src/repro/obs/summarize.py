@@ -40,6 +40,7 @@ def summarize_trace(trace: dict[str, object]) -> dict[str, object]:
     phase_spans = {phase: 0 for phase in PHASES}
     per_model: dict[str, dict[str, float]] = {}
     per_kind: dict[str, dict[str, float]] = {}
+    per_stage: dict[str, dict[str, float]] = {}
     requests: set[int] = set()
     fleet_busy: dict[str, float] = {}
 
@@ -62,6 +63,10 @@ def summarize_trace(trace: dict[str, object]) -> dict[str, object]:
             kind = _replica_kind(str(args.get("replica", "?")))
             per_kind.setdefault(kind, dict.fromkeys(PHASES, 0.0))
             per_kind[kind][phase] += seconds
+            stage = args.get("stage")
+            if stage is not None:
+                per_stage.setdefault(str(stage), dict.fromkeys(PHASES, 0.0))
+                per_stage[str(stage)][phase] += seconds
         elif pid == PID_FLEET and event.get("cat") != "autoscaler":
             args = event.get("args", {})
             name = str(args.get("replica", ""))
@@ -81,7 +86,7 @@ def summarize_trace(trace: dict[str, object]) -> dict[str, object]:
                        for phase in PHASES if by_phase[phase] > 0.0}}
 
     present = [phase for phase in PHASES if phase_spans[phase]]
-    return {
+    payload: dict[str, object] = {
         "requests": len(requests),
         "total_request_seconds": total,
         "phases": [
@@ -99,6 +104,10 @@ def summarize_trace(trace: dict[str, object]) -> dict[str, object]:
         "fleet_busy_seconds": {kind: fleet_busy[kind]
                                for kind in sorted(fleet_busy)},
     }
+    if per_stage:                  # only pipeline traces carry stage-tagged spans
+        payload["per_stage"] = {stage: rows(by_phase)
+                                for stage, by_phase in sorted(per_stage.items())}
+    return payload
 
 
 def format_summary(payload: dict[str, object]) -> str:
@@ -124,6 +133,7 @@ def format_summary(payload: dict[str, object]) -> str:
 
     section("per model", payload["per_model"])
     section("per replica kind", payload["per_replica_kind"])
+    section("per stage", payload.get("per_stage", {}))
     if payload["fleet_busy_seconds"]:
         lines.extend(["", "fleet busy-seconds by replica kind:"])
         for kind, seconds in payload["fleet_busy_seconds"].items():

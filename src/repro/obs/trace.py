@@ -15,6 +15,11 @@ Track layout (see :mod:`repro.obs.hooks` for who emits what):
   autoscaler instants.
 * pid :data:`PID_REQUESTS` ("requests") — one thread per request index
   carrying that request's phase spans, colored by phase.
+
+Pipeline runs (:func:`repro.serve.serve_pipeline`) reuse the ``queue`` /
+``service`` / ``handoff`` phases with a ``stage`` arg naming the pipeline
+stage, so one request's track chains per-stage queue→service spans joined
+by handoffs — still partitioning arrival→completion exactly.
 """
 
 from __future__ import annotations

@@ -12,10 +12,13 @@ pattern, this package closes the operator's loop:
 * :mod:`optimizer` — :func:`plan_capacity`, the SLO-driven fleet search:
   enumerate candidate fleets, prune with the analytic model, validate the
   survivors in simulation, report the chosen fleet and the cost-vs-SLO
-  Pareto frontier; and :func:`plan_llm_capacity`, the same search over
+  Pareto frontier; :func:`plan_llm_capacity`, the same search over
   disaggregated prefill/decode pool splits against a TTFT+TPOT SLO pair
   (analytic pools via :func:`estimate_llm_pools`, validation via
-  :func:`repro.serve.serve_llm`).
+  :func:`repro.serve.serve_llm`); and :func:`plan_pipeline_capacity`, the
+  joint per-stage pool sizing for multi-stage pipelines against an
+  end-to-end SLO (tandem composition via :func:`estimate_pipeline`,
+  validation via :func:`repro.serve.serve_pipeline`).
 
 Typical use::
 
@@ -44,19 +47,27 @@ from repro.plan.autoscaler import (
     UtilizationScalePolicy,
     make_scale_policy,
 )
-from repro.plan.optimizer import pareto_frontier, plan_capacity, plan_llm_capacity
+from repro.plan.optimizer import (
+    pareto_frontier,
+    plan_capacity,
+    plan_llm_capacity,
+    plan_pipeline_capacity,
+)
 from repro.plan.queueing import (
     LLMPoolEstimate,
+    PipelineEstimate,
     QueueingEstimate,
     ServiceTimes,
     erlang_c,
     estimate_fleet,
     estimate_llm_pools,
+    estimate_pipeline,
 )
 
 __all__ = [
     "Autoscaler",
     "LLMPoolEstimate",
+    "PipelineEstimate",
     "QueueDepthScalePolicy",
     "QueueingEstimate",
     "SCALE_POLICIES",
@@ -68,8 +79,10 @@ __all__ = [
     "erlang_c",
     "estimate_fleet",
     "estimate_llm_pools",
+    "estimate_pipeline",
     "make_scale_policy",
     "pareto_frontier",
     "plan_capacity",
     "plan_llm_capacity",
+    "plan_pipeline_capacity",
 ]

@@ -27,6 +27,7 @@ per candidate either way.
 
 from __future__ import annotations
 
+import itertools
 import logging
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
@@ -45,6 +46,11 @@ from repro.serve.llm import (
     serve_llm,
 )
 from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
+from repro.serve.pipeline import (
+    DEFAULT_STAGE_HANDOFF,
+    PipelineSpec,
+    serve_pipeline,
+)
 from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD, serve
 from repro.serve.traffic import PoissonTraffic, TrafficPattern, WorkloadMix
 from repro.plan.queueing import ServiceTimes, estimate_fleet, estimate_llm_pools
@@ -296,6 +302,276 @@ def plan_capacity(rate: float, models: Sequence[str] | str, *,
             "dispatch_overhead_seconds": dispatch_overhead_seconds,
             "router": router, "duration": duration, "seed": seed,
             "margin": margin, "traffic": traffic.to_dict(),
+        },
+        "objectives": [cost_key, "slo_violation_rate"],
+        "evaluated": len(candidates),
+        "simulated": len(validated),
+        "candidates": candidates,
+        "validated": validated,
+        "chosen": chosen,
+        "boundary": boundary,
+        "pareto_frontier": frontier,
+        "cache": service_times.cache.stats().to_dict(),
+    }
+
+
+def _measure_pipeline(candidate: dict, *, traffic, pipeline, policy, router,
+                      duration, seed, slo_seconds, stage_slo_seconds,
+                      handoff_seconds, dispatch_overhead_seconds, percentiles,
+                      slo_percentile, label, cache=None) -> dict:
+    """Validate one ``plan_pipeline_capacity`` candidate in the simulator.
+
+    Module-level so ``jobs=N`` can pickle it; same cache semantics as
+    :func:`_measure_fleet`.
+    """
+
+    report = serve_pipeline(
+        traffic, pipeline, candidate["pools"], policy=policy, router=router,
+        duration=duration, seed=seed, slo_seconds=slo_seconds,
+        stage_slo_seconds=stage_slo_seconds, handoff_seconds=handoff_seconds,
+        dispatch_overhead_seconds=dispatch_overhead_seconds,
+        percentiles=percentiles, cache=cache)
+    measured = report.latency.quantile(slo_percentile)
+    return {
+        "pools": candidate["pools"],
+        "pools_text": candidate["pools_text"],
+        "counts": candidate["counts"],
+        "replicas": candidate["replicas"],
+        "area_mm2": candidate["area_mm2"],
+        "bottleneck": candidate["bottleneck"],
+        f"predicted_{label}_ms": candidate[f"predicted_{label}_ms"],
+        f"{label}_ms": measured * 1e3,
+        "slo_attained": measured <= slo_seconds,
+        "slo_violation_rate": report.slo_violation_rate,
+        "throughput_rps": report.throughput_rps,
+        "energy_per_request_mj": report.energy_per_request_joules * 1e3,
+        "replica_seconds": report.replica_seconds,
+        "stage_utilization": {row["name"]: row["utilization"]
+                              for row in report.pipeline["stages"]},
+    }
+
+
+def plan_pipeline_capacity(rate: float, pipeline: PipelineSpec | str, *,
+                           slo_seconds: float, duration: float,
+                           slo_percentile: float = 0.95,
+                           targets: "str | dict[str, str]" = "vitality",
+                           max_replicas_per_stage: int = 4, top_k: int = 3,
+                           traffic: TrafficPattern | None = None,
+                           policy: str = "timeout", batch_size: int = 8,
+                           timeout: float = 2e-3,
+                           handoff_seconds: float = DEFAULT_STAGE_HANDOFF,
+                           dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
+                           router: str = "least-loaded", seed: int = 0,
+                           margin: float = 1.25,
+                           stage_slo_seconds: "dict[str, float] | None" = None,
+                           cache=None, jobs: int | None = None,
+                           progress: Callable[[str], None] | None = None
+                           ) -> dict[str, object]:
+    """Size every stage pool of a pipeline jointly against an e2e SLO.
+
+    Enumerates every per-stage replica-count vector (1 to
+    ``max_replicas_per_stage`` per stage), prunes with the tandem-queue
+    composition (per-stage estimates at the thinned rates, memoised per
+    (stage, count), summed with visit-ratio weights plus the expected
+    handoff delay), validates the ``top_k`` best survivors through
+    :func:`repro.serve.serve_pipeline`, and picks the cheapest candidate
+    whose *measured* end-to-end percentile meets the SLO.  The payload
+    mirrors :func:`plan_capacity` — ``candidates`` / ``validated`` /
+    ``chosen`` / ``boundary`` (one replica removed from the chosen
+    candidate's bottleneck stage) / ``pareto_frontier`` — with candidates
+    keyed by their per-stage pool map.  ``targets`` is one replica kind for
+    every stage or a per-stage mapping (stages may plan different
+    hardware).  Deterministic for fixed arguments.
+    """
+
+    if isinstance(pipeline, str):
+        pipeline = PipelineSpec.parse(pipeline)
+    if slo_seconds <= 0:
+        raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+    if max_replicas_per_stage < 1:
+        raise ValueError(f"max_replicas_per_stage must be >= 1, "
+                         f"got {max_replicas_per_stage}")
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    stage_names = [stage.name for stage in pipeline.stages]
+    if isinstance(targets, str):
+        kinds = {name: targets for name in stage_names}
+    else:
+        kinds = dict(targets)
+        unknown = [name for name in kinds if name not in stage_names]
+        if unknown:
+            raise ValueError(f"targets names unknown stages "
+                             f"{', '.join(repr(n) for n in unknown)}")
+        missing = [name for name in stage_names if name not in kinds]
+        if missing:
+            raise ValueError(f"targets is missing stages "
+                             f"{', '.join(repr(n) for n in missing)}")
+    if traffic is None:
+        traffic = PoissonTraffic(
+            rate=rate, mix=WorkloadMix.of([pipeline.stage(pipeline.entry).model]))
+    service_times = ServiceTimes(dispatch_overhead_seconds, cache=cache)
+    label = percentile_label(slo_percentile)
+    percentiles = tuple(sorted(set(DEFAULT_PERCENTILES) | {slo_percentile}))
+    areas = {name: _kind_area(kinds[name]) for name in stage_names}
+    cost_key = "area_mm2" if all(area is not None for area in areas.values()) \
+        else "energy_per_request_mj"
+
+    # Per-(stage, count) analytic estimates: the thinned stage rate is fixed
+    # by the pipeline's visit ratios, so the whole count-vector product
+    # space composes from S x max_replicas_per_stage estimates.
+    visits = pipeline.visit_ratios()
+    handoff_total = pipeline.expected_handoffs() * handoff_seconds
+    stage_estimates: dict[tuple[str, int], object] = {}
+    for stage in pipeline.stages:
+        for count in range(1, max_replicas_per_stage + 1):
+            stage_estimates[(stage.name, count)] = estimate_fleet(
+                f"{count}x{kinds[stage.name]}", rate * visits[stage.name],
+                stage.model, policy=policy, batch_size=batch_size,
+                timeout=timeout,
+                dispatch_overhead_seconds=dispatch_overhead_seconds,
+                percentiles=(slo_percentile,), service_times=service_times)
+
+    candidates = []
+    for counts in itertools.product(range(1, max_replicas_per_stage + 1),
+                                    repeat=len(stage_names)):
+        per_stage = {name: stage_estimates[(name, count)]
+                     for name, count in zip(stage_names, counts)}
+        stable = all(estimate.stable for estimate in per_stage.values())
+        bottleneck = max(stage_names,
+                         key=lambda name: per_stage[name].utilization)
+        predicted = None
+        if stable:
+            predicted = handoff_total + sum(
+                visits[name] * per_stage[name].predicted(slo_percentile)
+                for name in stage_names)
+        feasible = stable and predicted is not None \
+            and predicted <= slo_seconds * margin
+        pools = {name: f"{count}x{kinds[name]}"
+                 for name, count in zip(stage_names, counts)}
+        area = None if cost_key != "area_mm2" else sum(
+            areas[name] * count for name, count in zip(stage_names, counts))
+        energy = sum(visits[name] * per_stage[name].energy_per_request_joules
+                     for name in stage_names)
+        candidates.append({
+            "pools": pools,
+            "pools_text": ";".join(f"{name}={pools[name]}"
+                                   for name in stage_names),
+            "counts": dict(zip(stage_names, counts)),
+            "replicas": sum(counts),
+            "area_mm2": area,
+            "energy_per_request_mj": energy * 1e3,
+            "predicted_utilization": per_stage[bottleneck].utilization,
+            "bottleneck": bottleneck,
+            f"predicted_{label}_ms":
+                None if predicted is None else predicted * 1e3,
+            "predicted_feasible": feasible,
+            "per_stage": {name: {"visit_ratio": visits[name],
+                                 "utilization": per_stage[name].utilization,
+                                 "stable": per_stage[name].stable}
+                          for name in stage_names},
+        })
+
+    def cost(candidate: dict) -> tuple:
+        return (candidate[cost_key] if candidate[cost_key] is not None
+                else float("inf"),
+                candidate["energy_per_request_mj"],
+                candidate["replicas"], candidate["pools_text"])
+
+    feasible = [candidate for candidate in candidates
+                if candidate["predicted_feasible"]]
+    shortlist = _rank_shortlist(feasible,
+                                [cost_key, f"predicted_{label}_ms"],
+                                cost, top_k)
+    _note(progress, f"analytic prune: {len(candidates)} candidates, "
+                    f"{len(feasible)} feasible, validating {len(shortlist)}")
+
+    measure = partial(_measure_pipeline, traffic=traffic, pipeline=pipeline,
+                      policy=policy, router=router, duration=duration,
+                      seed=seed, slo_seconds=slo_seconds,
+                      stage_slo_seconds=stage_slo_seconds,
+                      handoff_seconds=handoff_seconds,
+                      dispatch_overhead_seconds=dispatch_overhead_seconds,
+                      percentiles=percentiles, slo_percentile=slo_percentile,
+                      label=label)
+    if jobs is not None and jobs > 1 and len(shortlist) > 1:
+        workers = min(jobs, len(shortlist))
+        _note(progress, f"validating {len(shortlist)} candidates across "
+                        f"{workers} processes")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            validated = list(pool.map(measure, shortlist))
+    else:
+        validated = []
+        for candidate in shortlist:
+            _note(progress, f"validating {candidate['pools_text']} "
+                            f"({duration:.1f}s simulated)")
+            validated.append(measure(candidate, cache=service_times.cache))
+
+    attained = [candidate for candidate in validated
+                if candidate["slo_attained"]]
+    chosen = min(attained, key=cost) if attained else None
+    _note(progress, f"chosen: {chosen['pools_text']}" if chosen is not None
+                    else "chosen: none (no validated candidate met the SLO)")
+
+    boundary = None
+    if chosen is not None and chosen["counts"][chosen["bottleneck"]] > 1:
+        neck = chosen["bottleneck"]
+        smaller_counts = dict(chosen["counts"])
+        smaller_counts[neck] -= 1
+        smaller_pools = {name: f"{count}x{kinds[name]}"
+                         for name, count in smaller_counts.items()}
+        smaller_text = ";".join(f"{name}={smaller_pools[name]}"
+                                for name in stage_names)
+        already = next((candidate for candidate in validated
+                        if candidate["pools_text"] == smaller_text), None)
+        if already is not None:      # shortlisted earlier: don't re-simulate
+            boundary = {key: already[key] for key in
+                        ("pools", "pools_text", "counts", f"{label}_ms",
+                         "slo_attained", "slo_violation_rate",
+                         "throughput_rps")}
+            boundary["stage_shrunk"] = neck
+        else:
+            _note(progress, f"checking boundary candidate {smaller_text}")
+            report = serve_pipeline(
+                traffic, pipeline, smaller_pools, policy=policy,
+                router=router, duration=duration, seed=seed,
+                slo_seconds=slo_seconds,
+                stage_slo_seconds=stage_slo_seconds,
+                handoff_seconds=handoff_seconds,
+                dispatch_overhead_seconds=dispatch_overhead_seconds,
+                percentiles=percentiles, cache=service_times.cache)
+            measured = report.latency.quantile(slo_percentile)
+            boundary = {
+                "pools": smaller_pools,
+                "pools_text": smaller_text,
+                "counts": smaller_counts,
+                f"{label}_ms": measured * 1e3,
+                "slo_attained": measured <= slo_seconds,
+                "slo_violation_rate": report.slo_violation_rate,
+                "throughput_rps": report.throughput_rps,
+                "stage_shrunk": neck,
+            }
+
+    frontier_points = [dict(candidate) for candidate in validated
+                       if candidate[cost_key] is not None]
+    frontier = pareto_frontier(frontier_points,
+                               [cost_key, "slo_violation_rate"])
+    frontier_pools = {point["pools_text"] for point in frontier}
+    for candidate in validated:
+        candidate["pareto"] = candidate["pools_text"] in frontier_pools
+
+    return {
+        "config": {
+            "rate": rate, "pipeline": pipeline.to_dict(),
+            "slo_seconds": slo_seconds, "slo_percentile": slo_percentile,
+            "targets": dict(sorted(kinds.items())),
+            "max_replicas_per_stage": max_replicas_per_stage, "top_k": top_k,
+            "policy": policy, "batch_size": batch_size, "timeout": timeout,
+            "handoff_seconds": handoff_seconds,
+            "dispatch_overhead_seconds": dispatch_overhead_seconds,
+            "router": router, "duration": duration, "seed": seed,
+            "margin": margin, "traffic": traffic.to_dict(),
+            **({"stage_slo_seconds": dict(sorted(stage_slo_seconds.items()))}
+               if stage_slo_seconds else {}),
         },
         "objectives": [cost_key, "slo_violation_rate"],
         "evaluated": len(candidates),

@@ -44,6 +44,7 @@ from repro.serve.llm import (
     _configured,
 )
 from repro.serve.metrics import DEFAULT_PERCENTILES, percentile_label
+from repro.serve.pipeline import DEFAULT_STAGE_HANDOFF, PipelineSpec
 from repro.serve.simulator import DEFAULT_DISPATCH_OVERHEAD
 from repro.serve.traffic import WorkloadMix
 from repro.workloads import get_workload
@@ -331,6 +332,142 @@ def estimate_fleet(fleet: Fleet | str, rate: float,
         mean_latency_seconds=mean_latency,
         latency=latency,
         energy_per_request_joules=energy,
+    )
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Tandem M/M/c composition over one pipeline's stage pools.
+
+    Each stage is estimated independently at its *thinned* arrival rate —
+    the entry rate times the stage's visit ratio (upstream throughput ×
+    branch probability, exact for acyclic routing) — and the end-to-end
+    figures add the per-stage predictions weighted by those ratios plus the
+    expected handoff delay.  Summing per-stage quantiles is conservative
+    (tails rarely align across stages), which is the right bias for pruning
+    a capacity search.  For an unstable pipeline (any stage's pool at or
+    past saturation) the latency figures are ``None`` and
+    ``unstable_stages`` names the offenders; ``bottleneck`` always names
+    the highest-utilization stage — where one more replica buys the most.
+    """
+
+    pipeline: str
+    rate_rps: float
+    handoff_seconds: float
+    expected_handoffs: float
+    stages: tuple[tuple[str, float, QueueingEstimate], ...]
+    stable: bool
+    bottleneck: str
+    unstable_stages: tuple[str, ...]
+    mean_latency_seconds: float | None
+    latency: tuple[tuple[str, float | None], ...]
+
+    def stage_estimate(self, name: str) -> QueueingEstimate:
+        for stage_name, _, estimate in self.stages:
+            if stage_name == name:
+                return estimate
+        raise KeyError(f"pipeline estimate has no stage {name!r}")
+
+    def predicted(self, fraction: float) -> float | None:
+        """The predicted end-to-end latency at one percentile fraction."""
+
+        label = percentile_label(fraction)
+        for key, value in self.latency:
+            if key == label:
+                return value
+        raise KeyError(f"percentile {label} was not estimated; "
+                       f"request it via the percentiles knob")
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "pipeline": self.pipeline,
+            "rate_rps": self.rate_rps,
+            "handoff_seconds": self.handoff_seconds,
+            "expected_handoffs": self.expected_handoffs,
+            "stages": [{"name": name, "visit_ratio": visits,
+                        **estimate.to_dict()}
+                       for name, visits, estimate in self.stages],
+            "stable": self.stable,
+            "bottleneck": self.bottleneck,
+            "unstable_stages": list(self.unstable_stages),
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "latency": dict(self.latency),
+        }
+
+
+def estimate_pipeline(pipeline: PipelineSpec | str,
+                      pools: "dict[str, Fleet | str]", rate: float, *,
+                      policy: BatchPolicy | str = "timeout",
+                      batch_size: int = 8, timeout: float = 2e-3,
+                      handoff_seconds: float = DEFAULT_STAGE_HANDOFF,
+                      dispatch_overhead_seconds: float = DEFAULT_DISPATCH_OVERHEAD,
+                      percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                      service_times: ServiceTimes | None = None
+                      ) -> PipelineEstimate:
+    """Predict steady-state behavior of a pipeline's stage pools jointly.
+
+    Stage-k arrival rate is ``rate * visit_ratio(k)`` — the tandem-queue
+    thinning :func:`repro.serve.serve_pipeline` realises event by event —
+    and each stage pool goes through :func:`estimate_fleet` on its own
+    workload.  Pass a shared :class:`ServiceTimes` to reuse engine results
+    across many candidate pool sizings (``plan_pipeline_capacity`` does).
+    """
+
+    if isinstance(pipeline, str):
+        pipeline = PipelineSpec.parse(pipeline)
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if handoff_seconds < 0:
+        raise ValueError(f"handoff_seconds must be >= 0, got {handoff_seconds}")
+    missing = [stage.name for stage in pipeline.stages if stage.name not in pools]
+    if missing:
+        raise ValueError(f"pools is missing stages "
+                         f"{', '.join(repr(n) for n in missing)} of "
+                         f"pipeline {pipeline.name!r}")
+    if service_times is None:
+        service_times = ServiceTimes(dispatch_overhead_seconds)
+
+    visits = pipeline.visit_ratios()
+    expected_handoffs = pipeline.expected_handoffs()
+    stages: list[tuple[str, float, QueueingEstimate]] = []
+    for stage in pipeline.stages:
+        estimate = estimate_fleet(
+            pools[stage.name], rate * visits[stage.name], stage.model,
+            policy=policy, batch_size=batch_size, timeout=timeout,
+            dispatch_overhead_seconds=dispatch_overhead_seconds,
+            percentiles=percentiles, service_times=service_times)
+        stages.append((stage.name, visits[stage.name], estimate))
+
+    unstable = tuple(name for name, _, estimate in stages if not estimate.stable)
+    stable = not unstable
+    bottleneck = max(stages, key=lambda entry: entry[2].utilization)[0]
+    handoff_total = expected_handoffs * handoff_seconds
+    if stable:
+        mean_latency = handoff_total + sum(
+            ratio * estimate.mean_latency_seconds
+            for _, ratio, estimate in stages)
+        latency = tuple(
+            (label, handoff_total + sum(
+                ratio * dict(estimate.latency)[label]
+                for _, ratio, estimate in stages))
+            for label in (percentile_label(fraction)
+                          for fraction in sorted(set(percentiles))))
+    else:
+        mean_latency = None
+        latency = tuple((percentile_label(fraction), None)
+                        for fraction in sorted(set(percentiles)))
+
+    return PipelineEstimate(
+        pipeline=pipeline.name,
+        rate_rps=rate,
+        handoff_seconds=handoff_seconds,
+        expected_handoffs=expected_handoffs,
+        stages=tuple(stages),
+        stable=stable,
+        bottleneck=bottleneck,
+        unstable_stages=unstable,
+        mean_latency_seconds=mean_latency,
+        latency=latency,
     )
 
 

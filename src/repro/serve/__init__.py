@@ -17,6 +17,9 @@ request under load.  The pieces:
 * :mod:`llm` — autoregressive serving: continuous (iteration-level) batching
   vs monolithic gangs, chunked prefill, KV-cache admission and
   prefill/decode-disaggregated fleets via :func:`serve_llm`;
+* :mod:`pipeline` — multi-stage request DAGs (RAG chains, cascade
+  draft→verify) traversing per-stage replica pools via
+  :func:`serve_pipeline`;
 * :mod:`metrics` — per-request records folded into the JSON-serialisable
   :class:`ServeReport` (p50/p95/p99, throughput, utilisation, SLO violations,
   energy/request, cache traffic).
@@ -64,6 +67,13 @@ from repro.serve.llm import (
     LLMRequest,
     SCHEDULERS,
     serve_llm,
+)
+from repro.serve.pipeline import (
+    DEFAULT_STAGE_HANDOFF,
+    PipelineSpec,
+    PipelineStage,
+    StageRoute,
+    serve_pipeline,
 )
 from repro.serve.metrics import (
     DEFAULT_PERCENTILES,
@@ -114,6 +124,7 @@ __all__ = [
     "DEFAULT_PREFILL_CHUNK",
     "DEFAULT_PROMPT_TOKENS",
     "DEFAULT_SLO",
+    "DEFAULT_STAGE_HANDOFF",
     "DEFAULT_TPOT_SLO",
     "DEFAULT_TTFT_SLO",
     "DiurnalTraffic",
@@ -127,6 +138,8 @@ __all__ = [
     "LatencySummary",
     "LeastLoadedRouter",
     "LoadIndex",
+    "PipelineSpec",
+    "PipelineStage",
     "PoissonTraffic",
     "ROUTERS",
     "Replica",
@@ -142,6 +155,7 @@ __all__ = [
     "ScaleEvent",
     "ServeReport",
     "SizeBatchPolicy",
+    "StageRoute",
     "TRAFFIC_PATTERNS",
     "TimeoutBatchPolicy",
     "TokenDistribution",
@@ -159,4 +173,5 @@ __all__ = [
     "percentile_label",
     "serve",
     "serve_llm",
+    "serve_pipeline",
 ]

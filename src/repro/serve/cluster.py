@@ -80,10 +80,10 @@ class Replica:
     """
 
     def __init__(self, index: int, ordinal: int, spec: ReplicaSpec,
-                 started_at: float = 0.0):
+                 started_at: float = 0.0, name_prefix: str = ""):
         self.index = index                       # fleet-wide position (tie-breaks)
         self.spec = spec
-        self.name = f"{spec.label}#{ordinal}"
+        self.name = f"{name_prefix}{spec.label}#{ordinal}"
         self.started_at = started_at
         self.queue: deque[Request] = deque()
         self.queued_seconds = 0.0                # estimated service time queued
@@ -153,24 +153,32 @@ class Fleet:
     static composition, so one Fleet can back any number of independent runs.
     """
 
-    def __init__(self, specs: Sequence[ReplicaSpec]):
+    def __init__(self, specs: Sequence[ReplicaSpec], *, index_base: int = 0,
+                 name_prefix: str = ""):
         if not specs:
             raise ValueError("a fleet needs at least one replica")
         self.replica_specs = tuple(specs)
+        # ``index_base`` / ``name_prefix`` keep replica indices and names
+        # unique when several fleets share one run (pipeline stage pools):
+        # observability tracks and LoadIndex entries key on them.
+        self.index_base = index_base
+        self.name_prefix = name_prefix
         self._ordinals: dict[str, int] = {}
         self._active_cache: tuple[Replica, ...] | None = None
         replicas = []
         for index, spec in enumerate(self.replica_specs):
             ordinal = self._ordinals.get(spec.label, 0)
             self._ordinals[spec.label] = ordinal + 1
-            replica = Replica(index, ordinal, spec)
+            replica = Replica(index_base + index, ordinal, spec,
+                              name_prefix=name_prefix)
             replica._fleet = self
             replicas.append(replica)
         self.replicas = tuple(replicas)
         self._static_count = len(replicas)
 
     @classmethod
-    def parse(cls, text: str) -> "Fleet":
+    def parse(cls, text: str, *, index_base: int = 0,
+              name_prefix: str = "") -> "Fleet":
         """Parse ``"2xvitality,1xgpu:taylor"`` (count defaults to 1).
 
         Replica targets may be configured design points —
@@ -191,7 +199,7 @@ class Fleet:
             specs.extend(ReplicaSpec.parse(body) for _ in range(count))
         if not specs:
             raise ValueError(f"empty fleet spec {text!r}")
-        return cls(specs)
+        return cls(specs, index_base=index_base, name_prefix=name_prefix)
 
     @property
     def active_replicas(self) -> tuple[Replica, ...]:
@@ -222,7 +230,8 @@ class Fleet:
 
         ordinal = self._ordinals.get(spec.label, 0)
         self._ordinals[spec.label] = ordinal + 1
-        replica = Replica(len(self.replicas), ordinal, spec, started_at=now)
+        replica = Replica(self.index_base + len(self.replicas), ordinal, spec,
+                         started_at=now, name_prefix=self.name_prefix)
         replica._fleet = self
         self.replicas = self.replicas + (replica,)
         self._invalidate_active()

@@ -180,6 +180,9 @@ class ReplicaReport:
     kv_capacity_tokens: int | None = None
     kv_peak_tokens: int | None = None
     decode_steps: int | None = None
+    #: Pipeline stage this replica's pool serves (set only by
+    #: :mod:`repro.serve.pipeline` runs; None keeps the classic JSON shape).
+    stage: str | None = None
 
     def to_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -194,6 +197,8 @@ class ReplicaReport:
                 "kv_capacity_tokens": self.kv_capacity_tokens,
                 "kv_peak_tokens": self.kv_peak_tokens,
                 "decode_steps": self.decode_steps})
+        if self.stage is not None:
+            payload["stage"] = self.stage
         return payload
 
 
@@ -229,6 +234,9 @@ class ServeReport:
     #: Token/KV accounting block of an LLM run (scheduler, generated tokens,
     #: decode throughput, per-phase SLO attainment), None for classic runs.
     llm: dict[str, object] | None = None
+    #: Multi-stage pipeline block (per-stage latency/SLO breakdown, handoff
+    #: accounting), set only by :mod:`repro.serve.pipeline` runs.
+    pipeline: dict[str, object] | None = None
 
     def to_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -259,6 +267,8 @@ class ServeReport:
             payload["tpot"] = self.tpot.to_dict()
         if self.llm is not None:
             payload["llm"] = self.llm
+        if self.pipeline is not None:
+            payload["pipeline"] = self.pipeline
         return payload
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -415,7 +425,8 @@ class ReportAccumulator:
     def finalize(self, config: dict[str, object], offered: int,
                  duration: float, replicas, cache_stats: CacheStats,
                  scale_events: Sequence[ScaleEvent] = (),
-                 llm: dict[str, object] | None = None) -> ServeReport:
+                 llm: dict[str, object] | None = None,
+                 pipeline: dict[str, object] | None = None) -> ServeReport:
         """Render the same :class:`ServeReport` shape :func:`build_report`
         produces, from the streamed state."""
 
@@ -434,7 +445,8 @@ class ReportAccumulator:
                 role=getattr(replica, "role", None),
                 kv_capacity_tokens=getattr(replica, "kv_capacity", None),
                 kv_peak_tokens=getattr(replica, "kv_peak", None),
-                decode_steps=getattr(replica, "decode_steps", None))
+                decode_steps=getattr(replica, "decode_steps", None),
+                stage=getattr(replica, "stage", None))
             for replica in replicas
         )
         return ServeReport(
@@ -465,6 +477,7 @@ class ReportAccumulator:
             ttft=None if self.ttft is None else self.ttft.summary(),
             tpot=None if self.tpot is None else self.tpot.summary(),
             llm=llm,
+            pipeline=pipeline,
         )
 
 
@@ -511,7 +524,8 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
                  window_seconds: float | None = None,
                  ttft_values: Sequence[float] | None = None,
                  tpot_values: Sequence[float] | None = None,
-                 llm: dict[str, object] | None = None) -> ServeReport:
+                 llm: dict[str, object] | None = None,
+                 pipeline: dict[str, object] | None = None) -> ServeReport:
     """Fold raw request records and replica accounting into a report.
 
     ``ttft_values`` / ``tpot_values`` / ``llm`` are the LLM-serving extras
@@ -542,7 +556,8 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
             role=getattr(replica, "role", None),
             kv_capacity_tokens=getattr(replica, "kv_capacity", None),
             kv_peak_tokens=getattr(replica, "kv_peak", None),
-            decode_steps=getattr(replica, "decode_steps", None))
+            decode_steps=getattr(replica, "decode_steps", None),
+            stage=getattr(replica, "stage", None))
         for replica in replicas
     )
     return ServeReport(
@@ -574,4 +589,5 @@ def build_report(config: dict[str, object], records: Sequence[RequestRecord],
         tpot=(None if tpot_values is None
               else LatencySummary.of(tpot_values, percentiles)),
         llm=llm,
+        pipeline=pipeline,
     )

@@ -47,6 +47,7 @@ from repro.serve import (
     percentile,
     serve,
     serve_llm,
+    serve_pipeline,
 )
 
 
@@ -198,6 +199,58 @@ def test_autoscaler_events_match_trace_instants():
     assert len(instants) == len(traced.scale_events) > 0
     assert ({event["name"] for event in instants}
             == {event.action for event in traced.scale_events})
+
+
+# --------------------------------------------------------- pipeline serving
+
+
+def pipeline_run(obs=None):
+    traffic = make_traffic("poisson", 120.0, ("deit-tiny",))
+    return serve_pipeline(
+        traffic, "rag = encoder[tokens=256] -> rerank:encoder[tokens=64] -> deit-tiny",
+        {"encoder": "2xvitality", "rerank": "1xvitality",
+         "deit-tiny": "1xvitality"},
+        duration=1.0, seed=5, obs=obs)
+
+
+def test_pipeline_report_identical_with_tracing():
+    base = pipeline_run()
+    obs = Observability(trace=TraceRecorder(), metrics=MetricsCollector())
+    traced = pipeline_run(obs=obs)
+    assert traced.to_json() == base.to_json()
+    assert len(obs.trace) > 0
+
+
+def test_pipeline_spans_sum_to_latency():
+    """Queue/service spans per stage plus the handoff spans between stages
+    partition [arrival, completion] — the PR-7 invariant, per pipeline."""
+
+    obs = Observability(trace=TraceRecorder())
+    report = pipeline_run(obs=obs)
+    assert_spans_match_latency(obs.trace, report)
+    events = [event for event in obs.trace.events()
+              if event.get("ph") == "X" and event["pid"] == PID_REQUESTS]
+    phases = {event["args"]["phase"] for event in events}
+    assert phases == {"queue", "service", "handoff"}
+    # Queue and service spans carry the stage they ran on; every stage of
+    # the linear chain shows up.
+    stages = {event["args"]["stage"] for event in events}
+    assert stages == {"encoder", "rerank", "deit-tiny"}
+
+
+def test_pipeline_trace_summarize_per_stage():
+    obs = Observability(trace=TraceRecorder())
+    report = pipeline_run(obs=obs)
+    payload = summarize_trace(chrome_trace(obs.trace))
+    assert payload["requests"] == report.completed
+    per_stage = payload["per_stage"]
+    assert set(per_stage) == {"encoder", "rerank", "deit-tiny"}
+    for entry in per_stage.values():
+        assert entry["total_seconds"] > 0.0
+    # Classic (non-pipeline) traces don't grow the new key.
+    classic = Observability(trace=TraceRecorder())
+    classic_run(obs=classic)
+    assert "per_stage" not in summarize_trace(chrome_trace(classic.trace))
 
 
 # ---------------------------------------------------------------- exporters
