@@ -189,6 +189,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="comma-separated clock frequencies")
     dse.add_argument("--sram-kb", default="100,200,400",
                      help="comma-separated buffer capacities in KB")
+    dse.add_argument("--dram-gbps", default="",
+                     help="comma-separated DRAM bandwidths in GB/s; adds a "
+                          "bandwidth axis simulated with the tile-level "
+                          "memory model (omit for ideal bandwidth)")
     dse.add_argument("--jobs", type=int, metavar="N",
                      help="simulate design points across N worker processes")
     dse.add_argument("--json", action="store_true",
@@ -530,6 +534,20 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
             "end_to_end_energy_mj": result.end_to_end_energy * 1e3,
         }]
         print(markdown_table(rows))
+        if result.roofline:
+            print("\n## Roofline (per unique layer)\n")
+            print(markdown_table(
+                [{
+                    "layer": record.layer,
+                    "bound": record.bound,
+                    "compute_cycles": record.compute_cycles,
+                    "load_stall": record.load_stall_cycles,
+                    "drain_stall": record.drain_stall_cycles,
+                    "ai_flops_per_byte": record.arithmetic_intensity,
+                    "attained_gbps": record.attained_gbps,
+                } for record in result.roofline],
+                ["layer", "bound", "compute_cycles", "load_stall",
+                 "drain_stall", "ai_flops_per_byte", "attained_gbps"]))
     return 0
 
 
@@ -573,6 +591,12 @@ def _command_dse(arguments: argparse.Namespace) -> int:
     except ValueError:
         return _fail(f"--sram-kb must be comma-separated integers, "
                      f"got {arguments.sram_kb!r}")
+    try:
+        dram_gbps = tuple(float(value)
+                          for value in _split_csv(arguments.dram_gbps)) or None
+    except ValueError:
+        return _fail(f"--dram-gbps must be comma-separated numbers, "
+                     f"got {arguments.dram_gbps!r}")
     pe = _split_csv(arguments.pe)
     freq = _split_csv(arguments.freq)
     if not (pe and freq and sram_kb):
@@ -581,7 +605,7 @@ def _command_dse(arguments: argparse.Namespace) -> int:
     try:
         payload = explore_design_space(
             model=arguments.model, target=arguments.target,
-            pe=pe, freq=freq, sram_kb=sram_kb,
+            pe=pe, freq=freq, sram_kb=sram_kb, dram_gbps=dram_gbps,
             jobs=arguments.jobs, cache=_make_cache(arguments))
     except (UnknownTargetError, KeyError, ValueError) as error:
         message = error.args[0] if error.args else error
@@ -589,9 +613,10 @@ def _command_dse(arguments: argparse.Namespace) -> int:
     if arguments.json:
         print(json.dumps(payload, indent=2))
     else:
-        print(markdown_table(payload["pareto_frontier"],
-                             ["target", "latency_ms", "energy_mj", "area_mm2",
-                              "peak_gmacs"]))
+        columns = ["target", "latency_ms", "energy_mj", "area_mm2", "peak_gmacs"]
+        if dram_gbps is not None:
+            columns += ["dram_gbps", "memory_bound_layers"]
+        print(markdown_table(payload["pareto_frontier"], columns))
         cache_stats = payload["cache"]
         disk = (f", {cache_stats['disk_hits']} from disk"
                 if cache_stats.get("disk_hits") else "")

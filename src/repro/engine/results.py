@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.hardware.memsim.roofline import RooflineRecord
+
 
 @dataclass(frozen=True)
 class StepRecord:
@@ -89,6 +91,11 @@ class RunResult:
         config: canonical knob string of the design point the producing
             target was configured with (``"pe=32x32,freq=1ghz"``); empty for
             the reference (Table III) design points.
+        roofline: per-layer memory-system classification (compute-bound vs
+            memory-bound, stall cycles, arithmetic intensity) from the
+            tile-level memory simulator.  Empty — and absent from the JSON
+            shape — unless the design point set a ``dram_gbps``/``tile_*``
+            knob, so default results are unchanged.
     """
 
     model: str
@@ -102,6 +109,7 @@ class RunResult:
     energy_breakdown: tuple[tuple[str, float], ...] = field(default_factory=tuple)
     layers: tuple[LayerRecord, ...] = field(default_factory=tuple)
     config: str = ""
+    roofline: tuple[RooflineRecord, ...] = field(default_factory=tuple)
 
     def breakdown(self) -> dict[str, float]:
         """The energy breakdown as a plain dictionary."""
@@ -123,6 +131,8 @@ class RunResult:
         }
         if include_layers:
             payload["layers"] = [layer.to_dict() for layer in self.layers]
+        if self.roofline:
+            payload["roofline"] = [record.to_dict() for record in self.roofline]
         return payload
 
     @classmethod
@@ -143,6 +153,8 @@ class RunResult:
             layers=tuple(LayerRecord.from_dict(layer)
                          for layer in payload.get("layers", ())),
             config=payload.get("config", ""),
+            roofline=tuple(RooflineRecord.from_dict(record)
+                           for record in payload.get("roofline", ())),
         )
 
     def to_json(self, include_layers: bool = False, indent: int | None = 2) -> str:

@@ -35,6 +35,8 @@ from repro.engine.spec import RunSpec
 from repro.hardware import (
     Dataflow,
     HardwareConfig,
+    MemSimConfig,
+    MemSimViTALiTyAccelerator,
     ModelResult,
     PLATFORM_SCHEMA,
     SALO_SCHEMA,
@@ -49,6 +51,7 @@ from repro.hardware import (
     build_vitality_config,
     get_platform,
 )
+from repro.hardware.memsim.roofline import RooflineRecord
 from repro.workloads import ModelWorkload
 
 
@@ -119,7 +122,8 @@ def _reject_unsupported(spec: RunSpec, target: str, *fields: str) -> None:
 
 def _batch_scaled(spec: RunSpec, result: ModelResult,
                   breakdown: dict[str, float], layers: tuple[LayerRecord, ...],
-                  target: "Target") -> RunResult:
+                  target: "Target",
+                  roofline: tuple[RooflineRecord, ...] = ()) -> RunResult:
     """Normalise a cycle-level :class:`ModelResult` into a :class:`RunResult`."""
 
     batch = spec.batch_size
@@ -135,6 +139,7 @@ def _batch_scaled(spec: RunSpec, result: ModelResult,
         energy_breakdown=tuple((key, value * batch) for key, value in breakdown.items()),
         layers=layers,
         config=getattr(target, "config_text", ""),
+        roofline=roofline,
     )
 
 
@@ -211,6 +216,13 @@ class VitalityTarget:
         self.design = design
         self.config_text = self.knob_schema.render(design) if design is not None else ""
         self._config = build_vitality_config(design)
+        # The tile-level memory simulator activates only when the design
+        # point sets a bandwidth/tile knob (None otherwise -> analytic path,
+        # bit-identical to the seed models).  Explicit tile sizes that
+        # cannot fit the double-buffered buffers fail here, at construction.
+        self._memsim = MemSimConfig.from_design(
+            design, self._config.memory.sram_kb,
+            self._config.sa_general.rows, self._config.sa_general.columns)
 
     def configured(self, name: str, design: HardwareConfig) -> "VitalityTarget":
         """This variant at another design point (the ``name[...]`` factory)."""
@@ -223,8 +235,12 @@ class VitalityTarget:
                     else self.default_dataflow)
         pipelined = (spec.pipelined if spec.pipelined is not None
                      else self.default_pipelined)
-        accelerator = ViTALiTyAccelerator(self._config, dataflow=dataflow,
-                                          pipelined=pipelined)
+        if self._memsim is not None:
+            accelerator = MemSimViTALiTyAccelerator(
+                self._config, self._memsim, dataflow=dataflow, pipelined=pipelined)
+        else:
+            accelerator = ViTALiTyAccelerator(self._config, dataflow=dataflow,
+                                              pipelined=pipelined)
         peak = spec.scale_to_peak if spec.scale_to_peak is not None else self.default_peak
         if peak is not None and peak > accelerator.peak_macs_per_second:
             accelerator = accelerator.scaled_to_peak(peak)
@@ -270,7 +286,15 @@ class VitalityTarget:
         result = accelerator.run_model(workload, include_linear=spec.include_linear)
         layers = _layer_records(result, workload, spec.include_linear)
         breakdown = _table5_breakdown(layers)
-        return _batch_scaled(spec, result, breakdown, layers, self)
+        roofline: tuple[RooflineRecord, ...] = ()
+        if self._memsim is not None:
+            # The accelerator's records align with the simulated layers;
+            # attach the repeat counts the layer records carry.
+            roofline = tuple(
+                replace(record, repeats=layer.repeats)
+                for record, layer in zip(accelerator.rooflines, layers))
+        return _batch_scaled(spec, result, breakdown, layers, self,
+                             roofline=roofline)
 
 
 class SangerTarget:

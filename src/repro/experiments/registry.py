@@ -82,6 +82,8 @@ _register("serve_fleet", "Heterogeneous-fleet routing under bursty traffic",
           "beyond the paper", serving_exps.serving_fleet_study)
 _register("dse", "Design-space exploration: PE array x frequency x SRAM Pareto",
           "beyond the paper", dse_exps.explore_design_space)
+_register("roofline", "Bandwidth-aware roofline DSE: PE array x DRAM bandwidth",
+          "beyond the paper", dse_exps.roofline_experiment)
 _register("seqscale", "Sequence-length scaling: vanilla/taylor crossover",
           "beyond the paper", seqscale_exps.seqscale_experiment)
 _register("capacity", "SLO-driven capacity planning: cheapest fleet meeting p99",

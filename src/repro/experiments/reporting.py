@@ -58,10 +58,35 @@ def nested_dict_table(data: Mapping[str, Mapping[str, object]], index_name: str 
     return markdown_table(rows, columns)
 
 
+def _render_design_space(result: Mapping[str, object]) -> str:
+    """Readable rendering of the DSE/roofline payload: frontier + demotions."""
+
+    sections = []
+    columns = ["target", "latency_ms", "energy_mj", "area_mm2", "peak_gmacs"]
+    points = result.get("points") or []
+    if any("dram_gbps" in point for point in points):
+        columns += ["dram_gbps", "memory_bound_layers"]
+    sections.append("## Pareto frontier\n\n"
+                    + markdown_table(result["pareto_frontier"], columns))
+    demotions = result.get("demotions")
+    if demotions:
+        sections.append("## Demotions (bigger array beaten by smaller + "
+                        "bandwidth)\n\n"
+                        + markdown_table(demotions,
+                                         ["demoted", "demoted_by",
+                                          "latency_ratio",
+                                          "memory_bound_layers"]))
+    sections.append(f"{len(result['pareto_frontier'])} Pareto-optimal of "
+                    f"{result.get('evaluated', len(points))} design points")
+    return "\n\n".join(sections)
+
+
 def render_experiment(identifier: str, result) -> str:
     """Best-effort markdown rendering of any experiment driver's return value."""
 
     if isinstance(result, Mapping):
+        if "pareto_frontier" in result and "points" in result:
+            return _render_design_space(result)
         if result and all(isinstance(value, Mapping) for value in result.values()):
             return nested_dict_table(result)
         return nested_dict_table({identifier: result})

@@ -59,6 +59,12 @@ from repro.hardware.core.families import (
     build_vitality_config,
 )
 from repro.hardware.extension import linear_attention_processor_requirements
+from repro.hardware.memsim import (
+    MemSimConfig,
+    MemSimViTALiTyAccelerator,
+    RooflineRecord,
+    TiledSystolicArray,
+)
 
 __all__ = [
     "ComponentConfig",
@@ -99,4 +105,8 @@ __all__ = [
     "EnergyBreakdown",
     "MemoryTrafficModel",
     "linear_attention_processor_requirements",
+    "MemSimConfig",
+    "MemSimViTALiTyAccelerator",
+    "RooflineRecord",
+    "TiledSystolicArray",
 ]

@@ -18,6 +18,10 @@ the scaling rules in :mod:`repro.hardware.core.component`:
   data-access knob);
 * ``util`` / ``density`` / ``window`` / ``global`` set the model parameters
   that are utilisation- or workload-shaped rather than geometric;
+* ``dram_gbps`` / ``tile_m`` / ``tile_k`` / ``tile_n`` activate the
+  tile-level memory simulator (:mod:`repro.hardware.memsim`) on the
+  ``vitality`` family — ``dram_gbps=inf`` is the reference (ideal memory,
+  the analytic model) and is dropped by canonicalisation;
 * platforms expose ``compute`` (effective-throughput scale), ``power``
   (watts) and ``launch_us`` (per-step dispatch overhead).
 
@@ -27,6 +31,7 @@ default design points bit-identical to the seed models.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 from repro.hardware.config import (
@@ -66,6 +71,40 @@ def _frequency_knob(default: float) -> Knob:
                 "clock frequency, e.g. 500mhz or 1ghz", default=default)
 
 
+def parse_dram_gbps(text: str) -> float:
+    """Positive GB/s, or ``inf`` for the ideal (analytic) memory system."""
+
+    value = parse_positive_float(text)
+    if math.isnan(value):
+        raise KnobError(f"expected a positive number of GB/s or 'inf', "
+                        f"got {text!r}")
+    return value
+
+
+def _memsim_knobs() -> list[Knob]:
+    """The tile-level memory-simulator knobs (see ``hardware/memsim``).
+
+    Any of these present on a design point activates the memsim path;
+    ``dram_gbps`` at its ``inf`` reference (ideal bandwidth — the analytic
+    model is exact) is dropped by canonicalisation like every other
+    reference value, so ``vitality[dram_gbps=inf]`` is the base target.
+    The tile knobs have no reference value: explicitly pinning a tile size
+    always selects the memsim path.
+    """
+
+    return [
+        Knob("dram_gbps", parse_dram_gbps, render_number,
+             "DRAM bandwidth in GB/s fed to the tile-level memory simulator "
+             "('inf' = ideal, the analytic reference)", default=math.inf),
+        Knob("tile_m", parse_positive_int, render_number,
+             "memsim tile rows streamed per pass (default: largest fitting)"),
+        Knob("tile_k", parse_positive_int, render_number,
+             "memsim stationary-tile depth (default: the PE-array rows)"),
+        Knob("tile_n", parse_positive_int, render_number,
+             "memsim stationary-tile width (default: the PE-array columns)"),
+    ]
+
+
 def _memory_knobs(reference) -> list[Knob]:
     return [
         Knob("sram_kb", parse_positive_int, render_number,
@@ -85,6 +124,7 @@ VITALITY_SCHEMA = KnobSchema("vitality", {knob.name: knob for knob in [
                     _VITALITY_REFERENCE.sa_general.columns)),
     _frequency_knob(_VITALITY_REFERENCE.frequency_hz),
     *_memory_knobs(_VITALITY_REFERENCE),
+    *_memsim_knobs(),
     Knob("util", parse_fraction, render_number,
          "systolic-array utilisation in (0, 1]",
          default=_VITALITY_REFERENCE.systolic_utilization),

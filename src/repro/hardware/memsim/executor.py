@@ -1,0 +1,152 @@
+"""The memsim-backed accelerator: tiled systolic partitions + rooflines.
+
+:class:`TiledSystolicArray` is a drop-in replacement for
+:class:`~repro.hardware.core.arrays.SystolicArray` whose ``matmul`` runs the
+tile pipeline of :mod:`repro.hardware.memsim.simulator` instead of the
+analytic cycle count: the returned execution carries the stall-inflated
+cycle total, energy for the active (compute) cycles only, and the same word
+counts the accelerator's SRAM-energy accounting has always charged — memsim
+refines *timing*, the energy model is unchanged.
+
+Operand sourcing is a residency check, not a per-call annotation: an operand
+whose whole footprint fits one on-chip buffer is SRAM-resident (its tile
+loads ride the wide on-chip ports and essentially never stall); anything
+larger streams from DRAM at the ``dram_gbps`` interface rate.  That rule
+reproduces the analytic model's narrative — linear-layer weights stream from
+DRAM, small attention operands stay resident — and additionally charges
+DRAM for attention operands that outgrow the buffers at long sequence
+lengths, which the analytic model waves away.
+
+:class:`MemSimViTALiTyAccelerator` swaps both systolic partitions for tiled
+ones and aggregates each layer's traces into a
+:class:`~repro.hardware.memsim.roofline.RooflineRecord`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.accelerator import ViTALiTyAccelerator
+from repro.hardware.common import Dataflow, LayerResult
+from repro.hardware.config import ViTALiTyAcceleratorConfig
+from repro.hardware.core.arrays import MatmulExecution, SystolicArray
+from repro.hardware.core.component import ComponentConfig
+from repro.hardware.memsim.config import MemSimConfig
+from repro.hardware.memsim.roofline import WORD_BYTES, RooflineRecord, classify
+from repro.hardware.memsim.simulator import GemmMemTrace, simulate_tiled_gemm
+from repro.workloads import AttentionLayerSpec, LinearLayerSpec, ModelWorkload
+
+
+class TiledSystolicArray(SystolicArray):
+    """A systolic partition whose GEMMs run the tile-level memory pipeline."""
+
+    def __init__(self, component: ComponentConfig, frequency_hz: float,
+                 utilization: float, memsim: MemSimConfig):
+        super().__init__(component, frequency_hz, utilization)
+        self.memsim = memsim
+        self.traces: list[GemmMemTrace] = []
+
+    def take_traces(self) -> list[GemmMemTrace]:
+        """Pop the traces recorded since the last call (one layer's worth)."""
+
+        traces, self.traces = self.traces, []
+        return traces
+
+    def matmul(self, m: int, k: int, n: int, pe_energy_scale: float = 1.0,
+               batch: int = 1) -> MatmulExecution:
+        plan = self.memsim.plan(m, k, n, self.rows, self.columns)
+        # On-chip ports feed the array edges; one word per edge lane per cycle.
+        sram_rate = float(self.rows + self.columns)
+        trace = simulate_tiled_gemm(
+            m, k, n,
+            rows=self.rows, columns=self.columns, utilization=self.utilization,
+            batch=batch, plan=plan,
+            dram_words_per_cycle=self.memsim.dram_words_per_cycle(self.frequency_hz),
+            sram_words_per_cycle=sram_rate,
+            drain_words_per_cycle=float(self.columns),
+            stationary_dram=not self.memsim.fits_sram(k * n * batch),
+            streamed_dram=not self.memsim.fits_sram(m * k * batch),
+        )
+        self.traces.append(trace)
+        energy = (trace.compute_cycles
+                  * self.component.energy_per_cycle(self.frequency_hz)
+                  * pe_energy_scale)
+        return MatmulExecution(
+            cycles=trace.cycles,
+            macs=trace.macs,
+            energy_joules=energy,
+            stationary_loads=k * n * batch,
+            streamed_words=m * k * batch,
+            output_words=m * n * batch,
+        )
+
+
+class MemSimViTALiTyAccelerator(ViTALiTyAccelerator):
+    """The ViTALiTy accelerator with tile-level memory simulation.
+
+    Behaves exactly like :class:`ViTALiTyAccelerator` except that every
+    systolic GEMM pays for its memory traffic in cycles, and each simulated
+    layer appends a :class:`RooflineRecord` to :attr:`rooflines` (aligned
+    with the layers of the last :meth:`run_model` call).
+    """
+
+    def __init__(self, config: ViTALiTyAcceleratorConfig, memsim: MemSimConfig,
+                 dataflow: Dataflow = Dataflow.DOWN_FORWARD,
+                 pipelined: bool = True):
+        super().__init__(config, dataflow=dataflow, pipelined=pipelined)
+        self.memsim = memsim
+        frequency = self.config.frequency_hz
+        utilization = self.config.systolic_utilization
+        self.sa_general = TiledSystolicArray(self.config.sa_general, frequency,
+                                             utilization, memsim)
+        self.sa_diag = TiledSystolicArray(self.config.sa_diag, frequency,
+                                          utilization, memsim)
+        self.rooflines: list[RooflineRecord] = []
+
+    def scaled_to_peak(self, peak_macs_per_second: float) -> "MemSimViTALiTyAccelerator":
+        scaled = super().scaled_to_peak(peak_macs_per_second)
+        return MemSimViTALiTyAccelerator(scaled.config, self.memsim,
+                                         dataflow=self.dataflow,
+                                         pipelined=self.pipelined)
+
+    def _record_roofline(self, layer: LayerResult, kind: str) -> None:
+        traces = self.sa_general.take_traces() + self.sa_diag.take_traces()
+        total = traces[0]
+        for trace in traces[1:]:
+            total = total.add(trace)
+        dram_bytes = total.dram_words * WORD_BYTES
+        seconds = layer.cycles / self.config.frequency_hz
+        attained = dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
+        intensity = (2.0 * total.macs / dram_bytes) if dram_bytes else None
+        self.rooflines.append(RooflineRecord(
+            layer=layer.name,
+            kind=kind,
+            repeats=1,
+            tiles=total.tiles,
+            macs=total.macs,
+            dram_bytes=dram_bytes,
+            compute_cycles=total.compute_cycles,
+            load_stall_cycles=total.load_stall_cycles,
+            drain_stall_cycles=total.drain_stall_cycles,
+            arithmetic_intensity=intensity,
+            attained_gbps=attained,
+            peak_gbps=self.memsim.dram_gbps,
+            bound=classify(total.compute_cycles,
+                           total.load_stall_cycles + total.drain_stall_cycles),
+        ))
+
+    def run_attention_layer(self, spec: AttentionLayerSpec) -> LayerResult:
+        self.sa_general.take_traces()
+        self.sa_diag.take_traces()
+        layer = super().run_attention_layer(spec)
+        self._record_roofline(layer, "attention")
+        return layer
+
+    def run_linear_layer(self, spec: LinearLayerSpec) -> LayerResult:
+        self.sa_general.take_traces()
+        self.sa_diag.take_traces()
+        layer = super().run_linear_layer(spec)
+        self._record_roofline(layer, "linear")
+        return layer
+
+    def run_model(self, workload: ModelWorkload, include_linear: bool = True):
+        self.rooflines = []
+        return super().run_model(workload, include_linear=include_linear)

@@ -1,0 +1,90 @@
+"""Per-layer roofline classification from the tile simulator's accounting.
+
+A layer's roofline position is read off the measured quantities rather than
+an idealised operational-intensity plot: the tile pipeline already knows how
+many cycles the systolic partitions spent computing versus stalled on loads
+or drains, and how many words actually crossed the DRAM interface.  A layer
+is *memory-bound* when its stall cycles dominate its compute cycles — the
+array spends most of its time waiting on the memory system — and
+*compute-bound* otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every operand/result word is 16-bit (the accelerators' fixed data width).
+WORD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class RooflineRecord:
+    """Memory-system accounting for one simulated layer (one occurrence).
+
+    Cycle counts cover the layer's systolic-partition GEMMs (the tiled ops);
+    ``arithmetic_intensity`` is FLOPs (2 x MACs) per DRAM byte, ``None`` when
+    the layer's working set was entirely SRAM-resident, and
+    ``attained_gbps`` is the DRAM traffic divided by the layer's wall-clock
+    latency (so overlap with compute shows up as attained < peak).
+    """
+
+    layer: str
+    kind: str                          # "attention" | "linear"
+    repeats: int
+    tiles: int
+    macs: int
+    dram_bytes: int
+    compute_cycles: int
+    load_stall_cycles: int
+    drain_stall_cycles: int
+    arithmetic_intensity: float | None
+    attained_gbps: float
+    peak_gbps: float
+    bound: str                         # "compute" | "memory"
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.load_stall_cycles + self.drain_stall_cycles
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "layer": self.layer,
+            "kind": self.kind,
+            "repeats": self.repeats,
+            "tiles": self.tiles,
+            "macs": self.macs,
+            "dram_bytes": self.dram_bytes,
+            "compute_cycles": self.compute_cycles,
+            "load_stall_cycles": self.load_stall_cycles,
+            "drain_stall_cycles": self.drain_stall_cycles,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "attained_gbps": self.attained_gbps,
+            "peak_gbps": self.peak_gbps,
+            "bound": self.bound,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "RooflineRecord":
+        return cls(
+            layer=payload["layer"],
+            kind=payload["kind"],
+            repeats=payload["repeats"],
+            tiles=payload["tiles"],
+            macs=payload["macs"],
+            dram_bytes=payload["dram_bytes"],
+            compute_cycles=payload["compute_cycles"],
+            load_stall_cycles=payload["load_stall_cycles"],
+            drain_stall_cycles=payload["drain_stall_cycles"],
+            arithmetic_intensity=payload["arithmetic_intensity"],
+            attained_gbps=payload["attained_gbps"],
+            peak_gbps=payload["peak_gbps"],
+            bound=payload["bound"],
+        )
+
+
+def classify(compute_cycles: int, stall_cycles: int) -> str:
+    """``"memory"`` when stalls dominate compute, else ``"compute"``."""
+
+    if stall_cycles > 0 and stall_cycles >= compute_cycles:
+        return "memory"
+    return "compute"

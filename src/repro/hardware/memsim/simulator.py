@@ -1,0 +1,140 @@
+"""The double-buffered tile pipeline: compute vs load-stall vs drain-stall.
+
+One GEMM ``O (M x N) = A (M x K) @ B (K x N)`` is executed as a sequence of
+tile passes ordered ``batch -> m-chunk -> n-tile -> k-tile`` (output
+stationary: the partial sums for one ``(m-chunk, n-tile)`` output tile
+accumulate in the obuf across the inner k loop and drain once, after the
+last k-tile).  Each pass streams ``chunk_m`` activation rows through one
+``tile_k x tile_n`` stationary tile, exactly like the analytic
+:func:`~repro.hardware.core.arrays.matmul_cycles` model — at infinite
+bandwidth and single-chunk ``M`` the tiled cycle count collapses to the
+analytic one.
+
+Double buffering overlaps the memory system with compute: while pass ``i``
+computes, the operands of pass ``i+1`` load into the spare buffer halves and
+the output drained by pass ``i-1`` writes back.  Loads and drains use
+independent ports, so each is compared against the compute window on its
+own:
+
+* ``load_stall``   — the first pass's full load (nothing to overlap with)
+  plus every later pass's load cycles in excess of the previous pass's
+  compute cycles;
+* ``drain_stall``  — the last pass's full drain plus every earlier drain's
+  cycles in excess of the next pass's compute cycles.
+
+Stalled cycles are idle (clock-gated): the energy model charges the array
+for compute cycles only, and the memory-access energies stay with the
+accelerator's existing traffic accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.memsim.config import TilePlan
+
+
+@dataclass
+class GemmMemTrace:
+    """Cycle and traffic accounting for one tiled GEMM."""
+
+    tiles: int                 # tile passes executed
+    compute_cycles: int        # active cycles (streaming + array fill)
+    load_stall_cycles: int
+    drain_stall_cycles: int
+    dram_words: int            # words moved across the DRAM interface
+    sram_words: int            # words moved between buffers and the array
+    macs: int
+
+    @property
+    def cycles(self) -> int:
+        return self.compute_cycles + self.load_stall_cycles + self.drain_stall_cycles
+
+    def add(self, other: "GemmMemTrace") -> "GemmMemTrace":
+        return GemmMemTrace(
+            tiles=self.tiles + other.tiles,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            load_stall_cycles=self.load_stall_cycles + other.load_stall_cycles,
+            drain_stall_cycles=self.drain_stall_cycles + other.drain_stall_cycles,
+            dram_words=self.dram_words + other.dram_words,
+            sram_words=self.sram_words + other.sram_words,
+            macs=self.macs + other.macs,
+        )
+
+
+def _transfer_cycles(words: int, words_per_cycle: float) -> int:
+    if words <= 0 or math.isinf(words_per_cycle):
+        return 0
+    return math.ceil(words / words_per_cycle)
+
+
+def _chunks(total: int, size: int) -> list[int]:
+    full, rest = divmod(total, size)
+    return [size] * full + ([rest] if rest else [])
+
+
+def simulate_tiled_gemm(m: int, k: int, n: int, *,
+                        rows: int, columns: int, utilization: float,
+                        batch: int, plan: TilePlan,
+                        dram_words_per_cycle: float,
+                        sram_words_per_cycle: float,
+                        drain_words_per_cycle: float,
+                        stationary_dram: bool,
+                        streamed_dram: bool) -> GemmMemTrace:
+    """Run ``batch`` tiled ``(m x k) @ (k x n)`` products through the pipeline.
+
+    ``stationary_dram`` / ``streamed_dram`` say which interface feeds each
+    operand (chosen by the caller from operand-residency checks); drained
+    outputs always write back to SRAM.
+    """
+
+    stationary_rate = dram_words_per_cycle if stationary_dram else sram_words_per_cycle
+    streamed_rate = dram_words_per_cycle if streamed_dram else sram_words_per_cycle
+
+    computes: list[int] = []
+    loads: list[int] = []
+    drains: list[int] = []
+    dram_words = 0
+    sram_words = 0
+
+    k_tiles = _chunks(k, plan.tile_k)
+    n_tiles = _chunks(n, plan.tile_n)
+    m_chunks = _chunks(m, plan.tile_m)
+    for _ in range(batch):
+        for chunk_m in m_chunks:
+            for tile_n in n_tiles:
+                for index_k, tile_k in enumerate(k_tiles):
+                    stationary_words = tile_k * tile_n
+                    streamed_words = chunk_m * tile_k
+                    computes.append(math.ceil(chunk_m / utilization))
+                    loads.append(_transfer_cycles(stationary_words, stationary_rate)
+                                 + _transfer_cycles(streamed_words, streamed_rate))
+                    output_words = (chunk_m * tile_n
+                                    if index_k == len(k_tiles) - 1 else 0)
+                    drains.append(_transfer_cycles(output_words, drain_words_per_cycle))
+                    if stationary_dram:
+                        dram_words += stationary_words
+                    else:
+                        sram_words += stationary_words
+                    if streamed_dram:
+                        dram_words += streamed_words
+                    else:
+                        sram_words += streamed_words
+                    sram_words += output_words
+
+    # Array fill once per batched GEMM, as in the analytic model.
+    compute_cycles = rows + columns + sum(computes)
+    load_stall = loads[0] + sum(
+        max(0, loads[i] - computes[i - 1]) for i in range(1, len(loads)))
+    drain_stall = drains[-1] + sum(
+        max(0, drains[i] - computes[i + 1]) for i in range(len(drains) - 1))
+    return GemmMemTrace(
+        tiles=len(computes),
+        compute_cycles=compute_cycles,
+        load_stall_cycles=load_stall,
+        drain_stall_cycles=drain_stall,
+        dram_words=dram_words,
+        sram_words=sram_words,
+        macs=m * k * n * batch,
+    )

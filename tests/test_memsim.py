@@ -1,0 +1,254 @@
+"""Tests for the tile-level memory-hierarchy simulator (``repro.hardware.memsim``):
+knob-grammar edge cases, activation gating and cache identity, stall/roofline
+physics, golden pinning, JSON shapes and the bandwidth-aware DSE axis."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ResultCache, RunSpec, get_target, simulate
+from repro.engine.results import RunResult
+from repro.experiments import run_experiment
+from repro.experiments.dse_exps import explore_design_space, roofline_experiment
+from repro.hardware import KnobError, VITALITY_SCHEMA, matmul_cycles
+from repro.hardware.memsim import (
+    MemSimConfig,
+    buffer_words,
+    simulate_tiled_gemm,
+)
+from repro.hardware.memsim.config import TilePlan
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "memsim_golden.json"
+SEED_GOLDEN_PATH = Path(__file__).parent / "data" / "seed_hardware_golden.json"
+
+#: The JSON keys every default (analytic-path) result has — and no others.
+DEFAULT_RESULT_KEYS = {
+    "model", "target", "attention_latency", "linear_latency",
+    "end_to_end_latency", "attention_energy", "linear_energy",
+    "end_to_end_energy", "energy_breakdown", "config",
+}
+
+
+class TestMemsimKnobs:
+    def test_unknown_tile_knob_lists_valid_knobs(self):
+        with pytest.raises(KnobError) as excinfo:
+            VITALITY_SCHEMA.parse("tile_q=4")
+        message = str(excinfo.value)
+        assert "unknown knob 'tile_q'" in message
+        assert "tile_m" in message and "dram_gbps" in message
+
+    @pytest.mark.parametrize("text,fragment", [
+        ("dram_gbps=0", "positive"),
+        ("dram_gbps=-5", "positive"),
+        ("dram_gbps=nan", "GB/s"),
+        ("dram_gbps=fast", "number"),
+        ("tile_m=0", "positive integer"),
+        ("tile_k=-2", "positive integer"),
+        ("tile_n=big", "positive integer"),
+    ])
+    def test_invalid_memsim_knobs_raise_actionable_errors(self, text, fragment):
+        with pytest.raises(KnobError) as excinfo:
+            VITALITY_SCHEMA.parse(text)
+        assert fragment in str(excinfo.value)
+
+    def test_dram_gbps_inf_is_the_reference_value(self):
+        config = VITALITY_SCHEMA.parse("dram_gbps=inf")
+        assert config.is_reference
+        assert VITALITY_SCHEMA.render(config) == ""
+
+    @pytest.mark.parametrize("target,fragment", [
+        ("vitality[tile_k=65]", "stationary rows"),
+        ("vitality[tile_n=65]", "columns"),
+        ("vitality[tile_k=64,tile_n=64,sram_kb=4]", "weight-buffer half"),
+        ("vitality[tile_m=10000,tile_k=64]", "input-buffer half"),
+        ("vitality[tile_m=10000,tile_n=64]", "output-buffer half"),
+    ])
+    def test_impossible_tilings_fail_at_target_construction(self, target, fragment):
+        with pytest.raises(KnobError) as excinfo:
+            get_target(target)
+        assert fragment in str(excinfo.value)
+
+    def test_ideal_bandwidth_spelling_resolves_to_base_target(self):
+        assert get_target("vitality[dram_gbps=inf]") is get_target("vitality")
+
+    def test_ideal_bandwidth_spelling_shares_cache_entry(self):
+        cache = ResultCache()
+        simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        simulate(RunSpec("deit-tiny", target="vitality[dram_gbps=inf]"), cache=cache)
+        stats = cache.stats()
+        assert (stats.misses, stats.hits) == (1, 1)
+
+    def test_from_design_is_inactive_without_memsim_knobs(self):
+        assert MemSimConfig.from_design(None, 200, 64, 64) is None
+        design = VITALITY_SCHEMA.parse("pe=32x32,freq=1ghz")
+        assert MemSimConfig.from_design(design, 200, 32, 32) is None
+
+
+class TestMemsimActivation:
+    def test_default_result_has_no_roofline(self):
+        result = simulate(RunSpec("deit-tiny", target="vitality"),
+                          cache=ResultCache())
+        assert result.roofline == ()
+        assert set(result.to_dict()) == DEFAULT_RESULT_KEYS
+        assert set(result.to_dict(include_layers=True)) == \
+            DEFAULT_RESULT_KEYS | {"layers"}
+
+    def test_memsim_result_carries_the_roofline_block(self):
+        result = simulate(RunSpec("deit-tiny", target="vitality[dram_gbps=25]"),
+                          cache=ResultCache())
+        assert result.roofline
+        assert set(result.to_dict()) == DEFAULT_RESULT_KEYS | {"roofline"}
+        for record in result.roofline:
+            assert record.bound in ("memory", "compute")
+            assert record.peak_gbps == 25.0
+            assert record.attained_gbps <= record.peak_gbps * 1.001
+
+    def test_low_bandwidth_is_memory_bound_with_nonzero_stalls(self):
+        cache = ResultCache()
+        base = simulate(RunSpec("deit-tiny", target="vitality"), cache=cache)
+        starved = simulate(RunSpec("deit-tiny", target="vitality[dram_gbps=8]"),
+                           cache=cache)
+        memory_bound = [record for record in starved.roofline
+                        if record.bound == "memory"]
+        assert memory_bound
+        assert all(record.stall_cycles > 0 for record in memory_bound)
+        assert starved.end_to_end_latency > base.end_to_end_latency
+
+    def test_high_bandwidth_is_compute_bound(self):
+        result = simulate(RunSpec("deit-tiny", target="vitality[dram_gbps=100]"),
+                          cache=ResultCache())
+        assert all(record.bound == "compute" for record in result.roofline)
+
+    def test_round_trip_preserves_the_roofline(self):
+        result = simulate(RunSpec("deit-tiny", target="vitality[dram_gbps=25]"),
+                          cache=ResultCache())
+        payload = json.loads(json.dumps(result.to_dict(include_layers=True)))
+        assert RunResult.from_dict(payload) == result
+
+
+class TestMemsimGolden:
+    """The memsim outputs for two reference design points are pinned exactly,
+    and activating the subsystem must not move any seed experiment."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("target", [
+        "vitality[dram_gbps=25]",
+        "vitality[pe=128x128,dram_gbps=25]",
+    ])
+    def test_design_point_matches_golden_bit_identically(self, golden, target):
+        result = simulate(RunSpec("deit-tiny", target=target), cache=ResultCache())
+        assert json.loads(json.dumps(result.to_dict())) == golden[target]
+
+    @pytest.fixture(scope="class")
+    def seed_golden(self):
+        return json.loads(SEED_GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("experiment", ["fig11", "fig12", "tab5", "salo",
+                                            "table2"])
+    def test_seed_experiments_stay_bit_identical(self, seed_golden, experiment):
+        current = run_experiment("tab2" if experiment == "table2" else experiment)
+        assert json.loads(json.dumps(current)) == seed_golden[experiment]
+
+
+class TestTilePipeline:
+    def _config(self, dram_gbps=math.inf, sram_kb=200):
+        words = buffer_words(sram_kb)
+        return MemSimConfig(dram_gbps=dram_gbps, tile_m=None, tile_k=None,
+                            tile_n=None, ibuf_words=words, wbuf_words=words,
+                            obuf_words=words)
+
+    def test_buffer_words_reference_budget(self):
+        # 200 KB / 4 operand buffers / 2 bytes per word = 25600 words each.
+        assert buffer_words(200) == 25600
+
+    def test_plan_respects_array_and_buffer_capacities(self):
+        config = self._config(sram_kb=4)
+        plan = config.plan(197, 192, 576, rows=64, columns=64)
+        half = max(1, config.wbuf_words // 2)
+        assert plan.tile_k <= 64 and plan.tile_n <= 64
+        assert plan.tile_k * plan.tile_n <= half
+        assert plan.tile_m * plan.tile_k <= max(1, config.ibuf_words // 2)
+        assert plan.tile_m * plan.tile_n <= max(1, config.obuf_words // 2)
+
+    def test_infinite_bandwidth_single_chunk_matches_analytic_cycles(self):
+        trace = simulate_tiled_gemm(
+            100, 64, 64, rows=64, columns=64, utilization=0.85, batch=1,
+            plan=TilePlan(tile_m=100, tile_k=64, tile_n=64),
+            dram_words_per_cycle=math.inf, sram_words_per_cycle=128.0,
+            drain_words_per_cycle=64.0, stationary_dram=True,
+            streamed_dram=True)
+        assert trace.compute_cycles == matmul_cycles(100, 64, 64, rows=64,
+                                                     columns=64,
+                                                     utilization=0.85)
+        assert trace.load_stall_cycles == 0
+
+    def test_stall_decomposition_is_exact(self):
+        trace = simulate_tiled_gemm(
+            197, 192, 576, rows=64, columns=64, utilization=0.85, batch=1,
+            plan=TilePlan(tile_m=64, tile_k=64, tile_n=64),
+            dram_words_per_cycle=2.5, sram_words_per_cycle=128.0,
+            drain_words_per_cycle=64.0, stationary_dram=True,
+            streamed_dram=True)
+        assert trace.cycles == (trace.compute_cycles
+                                + trace.load_stall_cycles
+                                + trace.drain_stall_cycles)
+        assert trace.load_stall_cycles > 0
+        assert trace.tiles > 1
+
+    def test_less_bandwidth_never_runs_faster(self):
+        def cycles(words_per_cycle):
+            return simulate_tiled_gemm(
+                197, 192, 576, rows=64, columns=64, utilization=0.85, batch=1,
+                plan=TilePlan(tile_m=64, tile_k=64, tile_n=64),
+                dram_words_per_cycle=words_per_cycle,
+                sram_words_per_cycle=128.0, drain_words_per_cycle=64.0,
+                stationary_dram=True, streamed_dram=True).cycles
+        assert cycles(2.5) >= cycles(25.0) >= cycles(math.inf)
+
+
+class TestBandwidthAwareDSE:
+    def test_dram_axis_adds_roofline_annotations(self):
+        payload = explore_design_space(pe=("64x64",), freq=("500mhz",),
+                                       sram_kb=(200,), dram_gbps=(25.0,),
+                                       cache=ResultCache())
+        assert payload["evaluated"] == 1
+        assert payload["space"]["dram_gbps"] == [25.0]
+        point = payload["points"][0]
+        assert point["dram_gbps"] == 25.0
+        assert point["memory_bound_layers"] > 0
+
+    def test_without_dram_axis_the_point_schema_is_unchanged(self):
+        payload = explore_design_space(pe=("64x64",), freq=("500mhz",),
+                                       sram_kb=(200,), cache=ResultCache())
+        assert "dram_gbps" not in payload["space"]
+        assert set(payload["points"][0]) == {
+            "target", "config", "latency_ms", "energy_mj", "area_mm2",
+            "peak_gmacs", "pareto"}
+
+    def test_roofline_demotes_the_bandwidth_starved_big_array(self):
+        payload = roofline_experiment(pe=("64x64", "128x128"),
+                                      dram_gbps=(25.0, 100.0),
+                                      cache=ResultCache())
+        by_target = {point["target"]: point for point in payload["points"]}
+        starved_big = by_target["vitality[dram_gbps=25.0,pe=128x128]"]
+        balanced = by_target["vitality[dram_gbps=100.0]"]
+        assert not starved_big["pareto"]
+        assert balanced["pareto"]
+        assert starved_big["memory_bound_layers"] > 0
+        demoted = {entry["demoted"]: entry for entry in payload["demotions"]}
+        entry = demoted["vitality[dram_gbps=25.0,pe=128x128]"]
+        assert entry["demoted_by"] == "vitality[dram_gbps=100.0]"
+        assert entry["latency_ratio"] > 1.0
+
+    def test_registered_as_experiment(self):
+        payload = run_experiment("roofline", pe=("64x64",), dram_gbps=(25.0,),
+                                 cache=ResultCache())
+        assert payload["evaluated"] == 1
+        assert payload["points"][0]["memory_bound_layers"] > 0
